@@ -1,0 +1,12 @@
+package graphabcd
+
+import (
+	"graphabcd/internal/graph"
+	"graphabcd/internal/graphmat"
+)
+
+// runGraphMatPR runs the GraphMat baseline's PageRank for the
+// cross-framework throughput benchmark.
+func runGraphMatPR(g *graph.Graph) (*graphmat.Result[float64], error) {
+	return graphmat.Run[float64, float64](g, graphmat.PageRank{Eps: 1e-9}, graphmat.Config{Threads: 2})
+}

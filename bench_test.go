@@ -1,0 +1,363 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Sec. V) on shrunken dataset analogs, plus microbenchmarks
+// of the engine's hot paths. Each BenchmarkTable*/BenchmarkFig* target
+// drives the same harness as cmd/experiments and reports the experiment's
+// headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation at benchmark scale; run
+// cmd/experiments with a smaller -shrink for paper-scale numbers.
+package graphabcd
+
+import (
+	"testing"
+
+	"graphabcd/internal/accel"
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/core"
+	"graphabcd/internal/exp"
+	"graphabcd/internal/gen"
+	"graphabcd/internal/metrics"
+	"graphabcd/internal/sched"
+)
+
+// benchOpt shrinks the analogs so a full -bench=. pass stays in minutes.
+func benchOpt() exp.Options { return exp.Options{Shrink: 5, Threads: 2} }
+
+func BenchmarkTableI_Generators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 7 {
+			b.Fatal("missing datasets")
+		}
+	}
+}
+
+func BenchmarkFig4_Convergence(b *testing.B) {
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig4(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: best normalized convergence across the sweep.
+		norm = 1.0
+		for _, r := range rows {
+			if r.NormBSP < norm {
+				norm = r.NormBSP
+			}
+		}
+	}
+	b.ReportMetric(norm, "best-norm-bsp")
+}
+
+func BenchmarkTableII_Comparison(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table2(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var abcd, gm []float64
+		for _, r := range rows {
+			abcd = append(abcd, r.ABCDSeconds)
+			gm = append(gm, r.GMSeconds)
+		}
+		speedup = metrics.Geomean(ratios(gm, abcd))
+	}
+	b.ReportMetric(speedup, "geomean-speedup-vs-graphmat")
+}
+
+func BenchmarkTableIII_Iterations(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table3(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var prio, gm []float64
+		for _, r := range rows {
+			if r.App == "pr" {
+				prio = append(prio, r.Priority)
+				gm = append(gm, r.GraphMat)
+			}
+		}
+		ratio = metrics.Geomean(ratios(gm, prio))
+	}
+	b.ReportMetric(ratio, "pr-iter-reduction-vs-graphmat")
+}
+
+func BenchmarkFig5_CFRMSE(b *testing.B) {
+	var rmse float64
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.Fig5(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.System == "priority" {
+				rmse = p.RMSE // last priority sample = largest budget
+			}
+		}
+	}
+	b.ReportMetric(rmse, "final-priority-rmse")
+}
+
+func BenchmarkFig6_HWAccel(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig6(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := make([]float64, len(rows))
+		for j, r := range rows {
+			s[j] = r.Speedup
+		}
+		speedup = metrics.Geomean(s)
+	}
+	b.ReportMetric(speedup, "accel-speedup")
+}
+
+func BenchmarkFig7_AsyncBreakdown(b *testing.B) {
+	var barrierRatio, bspRatio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig7(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var async, barrier, bsp []float64
+		for _, r := range rows {
+			async = append(async, r.Async)
+			barrier = append(barrier, r.Barrier)
+			bsp = append(bsp, r.BSP)
+		}
+		barrierRatio = metrics.Geomean(ratios(barrier, async))
+		bspRatio = metrics.Geomean(ratios(bsp, async))
+	}
+	b.ReportMetric(barrierRatio, "barrier-over-async")
+	b.ReportMetric(bspRatio, "bsp-over-async")
+}
+
+func BenchmarkFig8_PEUtil(b *testing.B) {
+	var utilAt16 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig8(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.NumPEs == 16 {
+				utilAt16 = r.AsyncUtil
+			}
+		}
+	}
+	b.ReportMetric(100*utilAt16, "async-util-16pe-%")
+}
+
+func BenchmarkFig9_Memory(b *testing.B) {
+	var busUtil float64
+	for i := 0; i < b.N; i++ {
+		traffic, utils, err := exp.Fig9(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(traffic) == 0 {
+			b.Fatal("no traffic rows")
+		}
+		busUtil = utils[len(utils)-1].BusUtilPct
+	}
+	b.ReportMetric(busUtil, "bus-util-16pe-%")
+}
+
+func BenchmarkFig10_Scalability(b *testing.B) {
+	var hybridSpeedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig10(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Vary == "pes" && r.Count == 1 {
+				hybridSpeedup = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(hybridSpeedup, "hybrid-speedup-1pe")
+}
+
+func BenchmarkAblationOperator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationOperator(benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStaleness(b *testing.B) {
+	var jacobiPenalty float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationStaleness(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		jacobiPenalty = rows[len(rows)-1].Epochs / rows[0].Epochs
+	}
+	b.ReportMetric(jacobiPenalty, "deep-queue-epoch-penalty")
+}
+
+func BenchmarkAblationPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationPolicy(benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaleOut(b *testing.B) {
+	var epochRatio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.ScaleOut(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		epochRatio = rows[len(rows)-1].Epochs / rows[0].Epochs
+	}
+	b.ReportMetric(epochRatio, "16node-over-1node-epochs")
+}
+
+func BenchmarkAblationStorage(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationStorage(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		byName := map[string]exp.StorageRow{}
+		for _, r := range rows {
+			byName[r.Backend] = r
+		}
+		ratio = float64(byName["out-of-core"].StorageBytes) / float64(byName["compressed"].StorageBytes)
+	}
+	b.ReportMetric(ratio, "compression-ratio")
+}
+
+func BenchmarkTableIV_Resources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reports, err := exp.Table4(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) != 3 {
+			b.Fatal("missing reports")
+		}
+	}
+}
+
+// --- engine microbenchmarks -------------------------------------------
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(12, 8, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkEnginePageRank measures end-to-end PR throughput (the per-
+// iteration cost side of Equation 1).
+func BenchmarkEnginePageRank(b *testing.B) {
+	g := benchGraph(b)
+	cfg := core.Config{BlockSize: 256, Mode: core.Async, Policy: sched.Cyclic,
+		NumPEs: 2, NumScatter: 1, Epsilon: 1e-10}
+	b.ResetTimer()
+	var edges int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run[float64, float64](g, bcd.PageRank{}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges = res.Stats.EdgesTraversed
+	}
+	b.ReportMetric(float64(edges*int64(b.N))/b.Elapsed().Seconds()/1e6, "MTEPS")
+}
+
+// BenchmarkEngineSSSPPriority measures the priority scheduler under the
+// monotone relaxation workload.
+func BenchmarkEngineSSSPPriority(b *testing.B) {
+	cfgG := gen.DefaultRMAT(12, 8, 6)
+	cfgG.MaxWeight = 64
+	g, err := gen.RMAT(cfgG)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{BlockSize: 256, Mode: core.Async, Policy: sched.Priority,
+		NumPEs: 2, NumScatter: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run[float64, float64](g, bcd.SSSP{Source: 0}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphBuild measures the dual CSC/CSR construction.
+func BenchmarkGraphBuild(b *testing.B) {
+	g := benchGraph(b)
+	edges := g.Edges()
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewGraph(n, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(edges)) * 12)
+}
+
+// BenchmarkReductionUnit compares the paper's tag-matched dataflow GATHER
+// reduction (Sec. IV-C) against a naive stalling pipeline on a hub-heavy
+// stream, reporting the modeled cycles-per-edge of each.
+func BenchmarkReductionUnit(b *testing.B) {
+	const n, lat = 8192, 6
+	in := make([]accel.Contribution, n)
+	for i := range in {
+		in[i] = accel.Contribution{Tag: uint32(i % 4), Value: 1}
+	}
+	counts := map[uint32]int{0: n / 4, 1: n / 4, 2: n / 4, 3: n / 4}
+	sum := func(a, c float64) float64 { return a + c }
+	var naiveCycles, dfCycles int64
+	for i := 0; i < b.N; i++ {
+		_, naiveCycles = accel.NaiveReduce(in, counts, sum, lat)
+		_, dfCycles, _ = accel.DataflowReduce(in, counts, sum, lat)
+	}
+	b.ReportMetric(float64(naiveCycles)/n, "naive-cycles/edge")
+	b.ReportMetric(float64(dfCycles)/n, "dataflow-cycles/edge")
+}
+
+// BenchmarkGraphMatPageRank gives the baseline's raw sweep throughput for
+// comparison against BenchmarkEnginePageRank.
+func BenchmarkGraphMatPageRank(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runGraphMatPR(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ratios(num, den []float64) []float64 {
+	out := make([]float64, 0, len(num))
+	for i := range num {
+		if den[i] > 0 {
+			out = append(out, num[i]/den[i])
+		}
+	}
+	return out
+}

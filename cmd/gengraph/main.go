@@ -1,0 +1,108 @@
+// Command gengraph generates synthetic graphs (the Table-I dataset
+// analogs, or parameterized R-MAT / uniform / grid / rating graphs) and
+// writes them as plain-text edge lists.
+//
+// Usage:
+//
+//	gengraph -kind rmat -scale 14 -edgefactor 16 -o graph.el
+//	gengraph -kind dataset -name LJ -shrink 2 -o lj.el
+//	gengraph -kind rating -users 1000 -items 200 -ratings 50000 -o nf.el
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphabcd/internal/gen"
+	"graphabcd/internal/graph"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "rmat", "generator: rmat | uniform | grid | rating | dataset")
+		out     = flag.String("o", "", "output file (default stdout)")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		maxW    = flag.Int("maxweight", 0, "integer weights in [1,maxweight]; 0 = unweighted")
+		scale   = flag.Int("scale", 12, "rmat: |V| = 2^scale")
+		ef      = flag.Int("edgefactor", 16, "rmat: |E| = edgefactor * |V|")
+		n       = flag.Int("n", 1024, "uniform: vertex count")
+		m       = flag.Int("m", 16384, "uniform: edge count")
+		rows    = flag.Int("rows", 64, "grid: rows")
+		cols    = flag.Int("cols", 64, "grid: cols")
+		users   = flag.Int("users", 1000, "rating: user count")
+		items   = flag.Int("items", 200, "rating: item count")
+		ratings = flag.Int("ratings", 50000, "rating: rating count")
+		name    = flag.String("name", "WT", "dataset: Table-I analog name (WT PS LJ TW SAC MOL NF)")
+		shrink  = flag.Int("shrink", 0, "dataset: scale down by 2^shrink")
+	)
+	flag.Parse()
+
+	g, err := build(*kind, buildParams{
+		seed: *seed, maxW: *maxW, scale: *scale, ef: *ef, n: *n, m: *m,
+		rows: *rows, cols: *cols, users: *users, items: *items,
+		ratings: *ratings, name: *name, shrink: *shrink,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gengraph:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", g)
+}
+
+type buildParams struct {
+	seed                  uint64
+	maxW, scale, ef, n, m int
+	rows, cols            int
+	users, items, ratings int
+	name                  string
+	shrink                int
+}
+
+func build(kind string, p buildParams) (*graph.Graph, error) {
+	switch kind {
+	case "rmat":
+		cfg := gen.DefaultRMAT(p.scale, p.ef, p.seed)
+		cfg.MaxWeight = p.maxW
+		return gen.RMAT(cfg)
+	case "uniform":
+		return gen.Uniform(p.n, p.m, p.maxW, p.seed)
+	case "grid":
+		return gen.Grid(p.rows, p.cols, p.maxW, p.seed)
+	case "rating":
+		rg, err := gen.Rating(gen.DefaultRating(p.users, p.items, p.ratings, p.seed))
+		if err != nil {
+			return nil, err
+		}
+		return rg.Graph, nil
+	case "dataset":
+		d, err := gen.Lookup(p.name)
+		if err != nil {
+			return nil, err
+		}
+		if d.Kind == gen.RatingKind {
+			rg, err := d.BuildRating(p.shrink)
+			if err != nil {
+				return nil, err
+			}
+			return rg.Graph, nil
+		}
+		return d.BuildSocial(p.shrink, p.maxW > 0)
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}

@@ -1,0 +1,304 @@
+// Command graphabcd runs one of the built-in algorithms on a graph under
+// a fully configurable GraphABCD engine and reports convergence and
+// performance statistics (optionally including the HARPv2 accelerator
+// model's simulated metrics).
+//
+// Usage:
+//
+//	graphabcd -algo pr -dataset LJ -shrink 2 -block 512 -policy priority
+//	graphabcd -algo sssp -graph weighted.el -source 0 -mode bsp
+//	graphabcd -algo cf -dataset NF -shrink 3 -max-epochs 20 -sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"graphabcd/internal/accel"
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/core"
+	"graphabcd/internal/edgestore"
+	"graphabcd/internal/gen"
+	"graphabcd/internal/graph"
+	"graphabcd/internal/sched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphabcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algo      = flag.String("algo", "pr", "algorithm: pr | sssp | bfs | cc | lp | cf")
+		graphFile = flag.String("graph", "", "edge-list file (alternative to -dataset)")
+		dataset   = flag.String("dataset", "", "Table-I analog name (WT PS LJ TW SAC MOL NF)")
+		shrink    = flag.Int("shrink", 2, "dataset scale-down exponent")
+		source    = flag.Uint("source", 0, "source vertex for sssp/bfs (default: max out-degree)")
+		srcSet    = false
+
+		block     = flag.Int("block", 0, "block size (0 = |V|/256 heuristic)")
+		mode      = flag.String("mode", "async", "engine mode: async | barrier | bsp")
+		policy    = flag.String("policy", "cyclic", "block selection: cyclic | priority | random")
+		pes       = flag.Int("pes", 4, "gather-apply workers (accelerator PEs)")
+		scatter   = flag.Int("scatter", 2, "scatter workers (CPU threads)")
+		hybrid    = flag.Bool("hybrid", false, "enable hybrid execution")
+		eps       = flag.Float64("eps", 1e-9, "activation threshold")
+		maxEpochs = flag.Float64("max-epochs", 0, "epoch budget (0 = run to convergence)")
+		useSim    = flag.Bool("sim", false, "attach the HARPv2 accelerator model")
+		store     = flag.String("edgestore", "memory", "edge storage backend: memory | file | compressed (file/compressed spill to a temp file and stream out-of-core)")
+		top       = flag.Int("top", 5, "print the top-K vertices by value")
+		rank      = flag.Int("rank", 8, "cf: factor rank")
+	)
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "source" {
+			srcSet = true
+		}
+	})
+	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "source" {
+			srcSet = true
+		}
+	})
+
+	g, err := loadGraph(*graphFile, *dataset, *shrink, *algo)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %s\n", g)
+
+	edges, cleanup, err := openEdgeStore(g, *store)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	cfg := core.Config{
+		BlockSize:  *block,
+		NumPEs:     *pes,
+		NumScatter: *scatter,
+		Hybrid:     *hybrid,
+		Epsilon:    *eps,
+		MaxEpochs:  *maxEpochs,
+		Seed:       1,
+		Edges:      edges,
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = max(16, g.NumVertices()/256)
+	}
+	switch *mode {
+	case "async":
+		cfg.Mode = core.Async
+	case "barrier":
+		cfg.Mode = core.Barrier
+	case "bsp":
+		cfg.Mode = core.BSP
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	switch *policy {
+	case "cyclic":
+		cfg.Policy = sched.Cyclic
+	case "priority":
+		cfg.Policy = sched.Priority
+	case "random":
+		cfg.Policy = sched.Random
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	var sim *accel.Simulator
+	if *useSim {
+		sc := accel.DefaultHARPv2()
+		if *pes > sc.NumPEs {
+			sc.NumPEs = *pes
+		}
+		if *scatter > sc.CPUThreads {
+			sc.CPUThreads = *scatter
+		}
+		if sim, err = accel.New(sc); err != nil {
+			return err
+		}
+		cfg.Sim = sim
+	}
+
+	src := uint32(*source)
+	if !srcSet {
+		src = maxOutDegreeVertex(g)
+	}
+
+	var stats core.Stats
+	switch *algo {
+	case "pr":
+		res, err := core.Run[float64, float64](g, bcd.PageRank{}, cfg)
+		if err != nil {
+			return err
+		}
+		stats = res.Stats
+		printTopFloat(res.Values, *top, "rank")
+	case "sssp":
+		res, err := core.Run[float64, float64](g, bcd.SSSP{Source: src}, cfg)
+		if err != nil {
+			return err
+		}
+		stats = res.Stats
+		fmt.Printf("source: %d\n", src)
+		printTopFloat(res.Values, *top, "dist")
+	case "bfs":
+		res, err := core.Run[uint64, uint64](g, bcd.BFS{Source: src}, cfg)
+		if err != nil {
+			return err
+		}
+		stats = res.Stats
+		fmt.Printf("source: %d, reached: %d\n", src, countReached(res.Values))
+	case "cc":
+		res, err := core.Run[uint64, uint64](g, bcd.CC{}, cfg)
+		if err != nil {
+			return err
+		}
+		stats = res.Stats
+		fmt.Printf("components: %d\n", countComponents(res.Values))
+	case "lp":
+		if cfg.MaxEpochs == 0 {
+			cfg.MaxEpochs = 50
+		}
+		res, err := core.Run[uint64, bcd.LPAccum](g, bcd.LabelProp{}, cfg)
+		if err != nil {
+			return err
+		}
+		stats = res.Stats
+		fmt.Printf("communities: %d\n", countComponents(res.Values))
+	case "cf":
+		if cfg.MaxEpochs == 0 {
+			cfg.MaxEpochs = 20
+		}
+		params := bcd.CF{Rank: *rank, LearnRate: 0.3, Lambda: 0.01, Seed: 7}
+		res, err := core.Run[[]float32, []float64](g, params, cfg)
+		if err != nil {
+			return err
+		}
+		stats = res.Stats
+		fmt.Printf("rmse: %.4f\n", params.RMSE(g, res.Values))
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	fmt.Printf("converged: %v\nepochs: %.2f\nblock updates: %d\nedges traversed: %d\nwall time: %v\nthroughput: %.1f MTEPS\n",
+		stats.Converged, stats.Epochs, stats.BlockUpdates, stats.EdgesTraversed, stats.WallTime, stats.MTEPS())
+	if sim != nil {
+		fmt.Printf("sim time: %.3f ms\nbus util: %.1f%%\nPE util: %.1f%%\nbus bytes: %d\n",
+			stats.SimTimeNs/1e6, 100*sim.BusUtilization(), 100*sim.PEUtilization(), sim.BusBytes())
+	}
+	return nil
+}
+
+// openEdgeStore prepares the requested edge storage backend, spilling the
+// graph to a temporary file for the out-of-core modes.
+func openEdgeStore(g *graph.Graph, kind string) (edgestore.Source, func(), error) {
+	nop := func() {}
+	switch kind {
+	case "memory", "":
+		return nil, nop, nil // engine default
+	case "file", "compressed":
+		dir, err := os.MkdirTemp("", "graphabcd-edges")
+		if err != nil {
+			return nil, nop, err
+		}
+		cleanup := func() { os.RemoveAll(dir) }
+		path := filepath.Join(dir, "edges")
+		var src edgestore.Source
+		if kind == "file" {
+			if err = edgestore.WriteFile(g, path); err == nil {
+				src, err = edgestore.OpenFile(g, path)
+			}
+		} else {
+			if err = edgestore.WriteCompressed(g, path); err == nil {
+				src, err = edgestore.OpenCompressed(g, path)
+			}
+		}
+		if err != nil {
+			cleanup()
+			return nil, nop, err
+		}
+		fmt.Printf("edge store: %s, %d bytes on disk\n", kind, src.Bytes())
+		return src, func() { src.Close(); cleanup() }, nil
+	}
+	return nil, nop, fmt.Errorf("unknown edgestore %q", kind)
+}
+
+func loadGraph(file, dataset string, shrink int, algo string) (*graph.Graph, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	case dataset != "":
+		d, err := gen.Lookup(dataset)
+		if err != nil {
+			return nil, err
+		}
+		if d.Kind == gen.RatingKind {
+			rg, err := d.BuildRating(shrink)
+			if err != nil {
+				return nil, err
+			}
+			return rg.Graph, nil
+		}
+		return d.BuildSocial(shrink, algo == "sssp")
+	}
+	return nil, fmt.Errorf("provide -graph FILE or -dataset NAME")
+}
+
+func maxOutDegreeVertex(g *graph.Graph) uint32 {
+	best, deg := uint32(0), int32(-1)
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(uint32(v)); d > deg {
+			best, deg = uint32(v), d
+		}
+	}
+	return best
+}
+
+func printTopFloat(vals []float64, k int, label string) {
+	type vv struct {
+		v uint32
+		x float64
+	}
+	all := make([]vv, 0, len(vals))
+	for v, x := range vals {
+		all = append(all, vv{uint32(v), x})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].x > all[b].x })
+	if k > len(all) {
+		k = len(all)
+	}
+	for i := 0; i < k; i++ {
+		fmt.Printf("top %s %d: vertex %d = %g\n", label, i+1, all[i].v, all[i].x)
+	}
+}
+
+func countReached(levels []uint64) int {
+	n := 0
+	for _, l := range levels {
+		if l != bcd.Unreached {
+			n++
+		}
+	}
+	return n
+}
+
+func countComponents(labels []uint64) int {
+	seen := map[uint64]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,55 @@
+// Distributed: scale PageRank out across a simulated four-node cluster —
+// the deployment the paper's asynchronous, barrierless design targets.
+// Each node owns a quarter of the vertex blocks and runs its own workers;
+// state-based updates cross nodes as messages with 500µs of injected
+// network latency, and the run still converges to the same ranks.
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"graphabcd"
+)
+
+func main() {
+	g, err := graphabcd.RMAT(graphabcd.DefaultRMAT(12, 8, 2026))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Single-node reference.
+	single, err := graphabcd.RunDistributedPageRank(g, graphabcd.ClusterConfig{
+		Nodes: 1, BlockSize: 64, WorkersPerNode: 4, Epsilon: 1e-12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Four nodes, messages delayed by 500µs each way.
+	multi, err := graphabcd.RunDistributedPageRank(g, graphabcd.ClusterConfig{
+		Nodes: 4, BlockSize: 64, WorkersPerNode: 1, Epsilon: 1e-12,
+		NetDelay: 500 * time.Microsecond, BatchSize: 128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	worst := 0.0
+	for v := range single.Values {
+		if d := math.Abs(single.Values[v] - multi.Values[v]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("graph: %s\n", g)
+	fmt.Printf("single node : %.1f epochs, %d local writes\n",
+		single.Stats.Epochs, single.Stats.LocalWrites)
+	fmt.Printf("four nodes  : %.1f epochs, %d messages in %d batches (%.0f%% of writes remote)\n",
+		multi.Stats.Epochs, multi.Stats.MessagesSent, multi.Stats.BatchesSent,
+		100*float64(multi.Stats.MessagesSent)/float64(multi.Stats.ScatterWrites))
+	fmt.Printf("max rank disagreement: %.2g (asynchronous BCD: delay never changes the fixpoint)\n", worst)
+}

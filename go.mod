@@ -1,0 +1,3 @@
+module graphabcd
+
+go 1.24

@@ -1,0 +1,288 @@
+// Package graphabcd is a Go implementation of GraphABCD ("Scaling Out
+// Graph Analytics with Asynchronous Block Coordinate Descent", Yang et
+// al., ISCA 2020): an asynchronous, barrierless, lock-free graph analytics
+// framework built on the Block Coordinate Descent view of iterative graph
+// algorithms.
+//
+// The package is a thin facade over the implementation packages. A
+// typical use:
+//
+//	g, _ := graphabcd.NewGraph(4, []graphabcd.Edge{{Src: 0, Dst: 1, Weight: 1}, ...})
+//	res, _ := graphabcd.RunPageRank(g, graphabcd.DefaultConfig(256))
+//	fmt.Println(res.Values[0], res.Stats.Epochs)
+//
+// Key knobs (Sec. III-B of the paper): Config.BlockSize trades convergence
+// rate against scheduling overhead, Config.Policy selects cyclic or
+// Gauss-Southwell priority block selection, and Config.Mode switches
+// between the asynchronous engine and the Barrier/BSP baselines. Attach a
+// Simulator to model the paper's HARPv2 CPU-FPGA platform (bus traffic,
+// PE utilization, simulated makespan) alongside the real computation.
+package graphabcd
+
+import (
+	"io"
+
+	"graphabcd/internal/accel"
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/cluster"
+	"graphabcd/internal/core"
+	"graphabcd/internal/edgestore"
+	"graphabcd/internal/gen"
+	"graphabcd/internal/graph"
+	"graphabcd/internal/sched"
+	"graphabcd/internal/word"
+)
+
+// Graph is the dual CSC/CSR pull-push graph representation.
+type Graph = graph.Graph
+
+// Edge is a directed weighted input edge.
+type Edge = graph.Edge
+
+// NewGraph builds a Graph over vertices [0, n) from an edge list.
+func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// ReadEdgeList parses a plain-text "src dst [weight]" edge list.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList writes g in the format ReadEdgeList parses.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Program is the GAS/BCD vertex program abstraction; implement it to run
+// custom algorithms on the engine (see the bcd package for the built-ins
+// and examples/custom for an external implementation).
+type Program[V, M any] = bcd.Program[V, M]
+
+// Codec describes how vertex values are stored in the engine's atomic
+// word arrays; a Program supplies one for its value type.
+type Codec[V any] = word.Codec[V]
+
+// Built-in codecs for Program implementations.
+type (
+	// F64Codec stores one float64 per value.
+	F64Codec = word.F64
+	// U64Codec stores one uint64 per value.
+	U64Codec = word.U64
+	// Vec32Codec stores a fixed-dimension []float32 vector.
+	Vec32Codec = word.Vec32
+)
+
+// Built-in algorithm programs.
+type (
+	// PageRank is damped PageRank (Sec. III-A2 of the paper).
+	PageRank = bcd.PageRank
+	// SSSP is single-source shortest path by asynchronous relaxation.
+	SSSP = bcd.SSSP
+	// BFS computes breadth-first levels.
+	BFS = bcd.BFS
+	// CC computes connected components by min-label propagation.
+	CC = bcd.CC
+	// LabelProp is weighted majority label propagation.
+	LabelProp = bcd.LabelProp
+	// CF is collaborative filtering by low-rank factorization.
+	CF = bcd.CF
+	// PageRankDelta is the operation-based PageRank variant; the engine
+	// runs it with atomic read-modify-write edge slots (Sec. IV-A3).
+	PageRankDelta = bcd.PageRankDelta
+	// KCore computes coreness by the monotone h-index fixpoint.
+	KCore = bcd.KCore
+)
+
+// Unreached marks vertices not reached by BFS/CC.
+const Unreached = bcd.Unreached
+
+// Mode selects the execution model.
+type Mode = core.Mode
+
+// Execution modes.
+const (
+	// Async is the paper's barrierless, lock-free engine.
+	Async = core.Async
+	// Barrier adds a memory barrier after each wave of blocks.
+	Barrier = core.Barrier
+	// BSP is bulk-synchronous Jacobi iteration (block size |V|).
+	BSP = core.BSP
+)
+
+// Policy selects the block scheduling rule.
+type Policy = sched.Policy
+
+// Scheduling policies.
+const (
+	// Cyclic selects blocks in round-robin order.
+	Cyclic = sched.Cyclic
+	// Priority selects by Gauss-Southwell gradient mass.
+	Priority = sched.Priority
+	// Random selects uniformly among active blocks.
+	Random = sched.Random
+)
+
+// Config parameterizes an engine run.
+type Config = core.Config
+
+// DefaultConfig returns an async cyclic configuration with the given
+// block size.
+func DefaultConfig(blockSize int) Config { return core.DefaultConfig(blockSize) }
+
+// Stats summarizes a run.
+type Stats = core.Stats
+
+// Result bundles final vertex values with run statistics.
+type Result[V any] = core.Result[V]
+
+// Run executes any Program over g. Instantiate the type parameters from
+// the program, e.g. Run[float64, float64](g, PageRank{}, cfg).
+func Run[V, M any](g *Graph, prog Program[V, M], cfg Config) (*Result[V], error) {
+	return core.Run(g, prog, cfg)
+}
+
+// RunPageRank runs PageRank with default damping (0.85) to convergence.
+func RunPageRank(g *Graph, cfg Config) (*Result[float64], error) {
+	return core.Run[float64, float64](g, bcd.PageRank{}, cfg)
+}
+
+// RunSSSP runs single-source shortest path from source. Unreachable
+// vertices hold +Inf.
+func RunSSSP(g *Graph, source uint32, cfg Config) (*Result[float64], error) {
+	return core.Run[float64, float64](g, bcd.SSSP{Source: source}, cfg)
+}
+
+// RunBFS computes BFS levels from source (Unreached if unreachable).
+func RunBFS(g *Graph, source uint32, cfg Config) (*Result[uint64], error) {
+	return core.Run[uint64, uint64](g, bcd.BFS{Source: source}, cfg)
+}
+
+// RunCC computes connected components (directed min-label propagation;
+// symmetrize the graph for undirected components).
+func RunCC(g *Graph, cfg Config) (*Result[uint64], error) {
+	return core.Run[uint64, uint64](g, bcd.CC{}, cfg)
+}
+
+// RunLabelProp runs majority label propagation. Set cfg.MaxEpochs: label
+// propagation may oscillate under synchronous execution.
+func RunLabelProp(g *Graph, cfg Config) (*Result[uint64], error) {
+	return core.Run[uint64, bcd.LPAccum](g, bcd.LabelProp{}, cfg)
+}
+
+// RunCF runs collaborative filtering with the given parameters. Set
+// cfg.MaxEpochs — CF iterates until its budget. Evaluate quality with
+// params.RMSE(g, res.Values).
+func RunCF(g *Graph, params CF, cfg Config) (*Result[[]float32], error) {
+	return core.Run[[]float32, []float64](g, params, cfg)
+}
+
+// RunPageRankDelta runs the operation-based PageRank variant. It reaches
+// the same fixpoint as RunPageRank but exercises the engine's atomic
+// delta-accumulation path.
+func RunPageRankDelta(g *Graph, cfg Config) (*Result[float64], error) {
+	return core.Run[float64, float64](g, bcd.PageRankDelta{}, cfg)
+}
+
+// RunKCore computes every vertex's coreness. The graph must be symmetric
+// (both edge directions present).
+func RunKCore(g *Graph, cfg Config) (*Result[uint64], error) {
+	return core.Run[uint64, bcd.KCoreAccum](g, bcd.KCore{}, cfg)
+}
+
+// Simulator is the HARPv2 accelerator cost model; attach one via
+// Config.Sim to collect modeled time, traffic, and utilization.
+type Simulator = accel.Simulator
+
+// SimConfig describes the modeled CPU-accelerator platform.
+type SimConfig = accel.Config
+
+// NewSimulator builds an accelerator model.
+func NewSimulator(cfg SimConfig) (*Simulator, error) { return accel.New(cfg) }
+
+// DefaultHARPv2 is the paper's evaluation platform: 16 PEs at 200 MHz
+// behind a 12.8 GB/s bus, 14 host threads.
+func DefaultHARPv2() SimConfig { return accel.DefaultHARPv2() }
+
+// Synthetic dataset generators (substitutes for the paper's Table I).
+
+// RMATConfig parameterizes an R-MAT (Kronecker) social-graph generator.
+type RMATConfig = gen.RMATConfig
+
+// RMAT generates a power-law directed graph.
+func RMAT(cfg RMATConfig) (*Graph, error) { return gen.RMAT(cfg) }
+
+// DefaultRMAT returns Graph500-style R-MAT parameters.
+func DefaultRMAT(scale, edgeFactor int, seed uint64) RMATConfig {
+	return gen.DefaultRMAT(scale, edgeFactor, seed)
+}
+
+// RatingConfig parameterizes the bipartite rating-graph generator.
+type RatingConfig = gen.RatingConfig
+
+// RatingGraph is a generated bipartite user-item graph for CF.
+type RatingGraph = gen.RatingGraph
+
+// Rating generates a planted-low-rank bipartite rating graph.
+func Rating(cfg RatingConfig) (*RatingGraph, error) { return gen.Rating(cfg) }
+
+// DefaultRating returns MovieLens-like rating-generator parameters.
+func DefaultRating(users, items, ratings int, seed uint64) RatingConfig {
+	return gen.DefaultRating(users, items, ratings, seed)
+}
+
+// Uniform generates an Erdős–Rényi G(n, m) graph.
+func Uniform(n, m, maxWeight int, seed uint64) (*Graph, error) {
+	return gen.Uniform(n, m, maxWeight, seed)
+}
+
+// Grid generates a rows x cols bidirectional mesh.
+func Grid(rows, cols, maxWeight int, seed uint64) (*Graph, error) {
+	return gen.Grid(rows, cols, maxWeight, seed)
+}
+
+// Distributed execution: the scale-out deployment the paper's asynchronous
+// design targets (Sec. IV-A3), with each node running its own engine over
+// a partition of the blocks and state-based updates flowing over message
+// channels with bounded delay.
+
+// ClusterConfig parameterizes a distributed run.
+type ClusterConfig = cluster.Config
+
+// ClusterStats summarizes a distributed run.
+type ClusterStats = cluster.Stats
+
+// ClusterResult bundles final values with distributed-run statistics.
+type ClusterResult[V any] = cluster.Result[V]
+
+// RunDistributed executes any Program across a multi-node cluster.
+func RunDistributed[V, M any](g *Graph, prog Program[V, M], cfg ClusterConfig) (*ClusterResult[V], error) {
+	return cluster.Run(g, prog, cfg)
+}
+
+// RunDistributedPageRank runs PageRank across cfg.Nodes nodes.
+func RunDistributedPageRank(g *Graph, cfg ClusterConfig) (*ClusterResult[float64], error) {
+	return cluster.Run[float64, float64](g, bcd.PageRank{}, cfg)
+}
+
+// RunDistributedSSSP runs SSSP across cfg.Nodes nodes.
+func RunDistributedSSSP(g *Graph, source uint32, cfg ClusterConfig) (*ClusterResult[float64], error) {
+	return cluster.Run[float64, float64](g, bcd.SSSP{Source: source}, cfg)
+}
+
+// Edge storage backends (out-of-core and compressed execution).
+
+// EdgeSource abstracts where the static edge structure streams from
+// during GATHER; set Config.Edges to run out-of-core or compressed.
+type EdgeSource = edgestore.Source
+
+// InMemoryEdges is the default zero-copy source over the graph's arrays.
+func InMemoryEdges(g *Graph) EdgeSource { return edgestore.InMemory(g) }
+
+// WriteEdgeFile spills g's static edge structure to a raw binary file.
+func WriteEdgeFile(g *Graph, path string) error { return edgestore.WriteFile(g, path) }
+
+// OpenEdgeFile opens a raw edge file for out-of-core execution.
+func OpenEdgeFile(g *Graph, path string) (EdgeSource, error) { return edgestore.OpenFile(g, path) }
+
+// WriteCompressedEdges writes the delta-varint compressed edge format.
+func WriteCompressedEdges(g *Graph, path string) error { return edgestore.WriteCompressed(g, path) }
+
+// OpenCompressedEdges opens a compressed edge file for execution.
+func OpenCompressedEdges(g *Graph, path string) (EdgeSource, error) {
+	return edgestore.OpenCompressed(g, path)
+}

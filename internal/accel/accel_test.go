@@ -1,0 +1,285 @@
+package accel
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newSim(t *testing.T, cfg Config) *Simulator {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// smallCfg is a 2-PE, 1 GB/s platform with easy arithmetic: 1 byte/ns bus,
+// 1000 edges/us PE compute (1 GHz, 1 edge/cycle), no invoke latency.
+func smallCfg() Config {
+	return Config{
+		NumPEs: 2, BusGBps: 1, ClockMHz: 1000, EdgesPerCycle: 1,
+		InvokeLatencyNs: 0, CPUThreads: 2, ScatterNsPerEdge: 1, CPUGatherNsPerEdge: 2,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultHARPv2().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.NumPEs = 0 },
+		func(c *Config) { c.BusGBps = 0 },
+		func(c *Config) { c.ClockMHz = -1 },
+		func(c *Config) { c.EdgesPerCycle = 0 },
+		func(c *Config) { c.InvokeLatencyNs = -1 },
+		func(c *Config) { c.CPUThreads = 0 },
+		func(c *Config) { c.ScatterNsPerEdge = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultHARPv2()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: want validation error", i)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("mutation %d: New accepted invalid config", i)
+		}
+	}
+}
+
+func TestPESingleBlockTiming(t *testing.T) {
+	s := newSim(t, smallCfg())
+	pe := s.PE(0)
+	// 1000 edges, 1000 bytes in, 100 bytes out.
+	// read: 1000B @ 1B/ns = 1000ns; compute: 1000 edges @ 1e9 e/s = 1000ns
+	// (overlapped, ends at max(1000, 1000) = 1000); write 100ns -> 1100.
+	end := pe.RunBlock(1000, 1000, 100)
+	if math.Abs(end-1100) > 1e-9 {
+		t.Fatalf("end = %g, want 1100", end)
+	}
+	if pe.Blocks() != 1 {
+		t.Fatalf("Blocks = %d", pe.Blocks())
+	}
+	if got := s.TrafficBytes(SeqRead); got != 1000 {
+		t.Fatalf("SeqRead bytes = %d", got)
+	}
+	if got := s.TrafficBytes(SeqWrite); got != 100 {
+		t.Fatalf("SeqWrite bytes = %d", got)
+	}
+	if got := s.BusBytes(); got != 1100 {
+		t.Fatalf("BusBytes = %d", got)
+	}
+	if got := s.SimTimeNs(); math.Abs(got-1100) > 1e-9 {
+		t.Fatalf("SimTimeNs = %g", got)
+	}
+}
+
+func TestInvokeLatencyAddsOverhead(t *testing.T) {
+	cfg := smallCfg()
+	cfg.InvokeLatencyNs = 500
+	s := newSim(t, cfg)
+	end := s.PE(0).RunBlock(100, 100, 0)
+	// 500 invoke + max(100 read, 100 compute) = 600.
+	if math.Abs(end-600) > 1e-9 {
+		t.Fatalf("end = %g, want 600", end)
+	}
+}
+
+func TestBusContentionSerializes(t *testing.T) {
+	s := newSim(t, smallCfg())
+	// Two PEs each streaming 1000 bytes with tiny compute: the second
+	// transfer must queue behind the first, so the makespan is ~2000ns,
+	// not ~1000ns.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.PE(i).RunBlock(1, 1000, 0)
+		}(i)
+	}
+	wg.Wait()
+	if got := s.SimTimeNs(); got < 1999 {
+		t.Fatalf("SimTimeNs = %g, want ~2000 (bus must serialize)", got)
+	}
+	if busy := s.BusBusyNs(); math.Abs(busy-2000) > 1e-6 {
+		t.Fatalf("BusBusyNs = %g, want 2000", busy)
+	}
+}
+
+func TestComputeBoundVsBandwidthBound(t *testing.T) {
+	// Compute-bound: few bytes, many edges.
+	s := newSim(t, smallCfg())
+	s.PE(0).RunBlock(10000, 10, 0) // compute 10000ns, read 10ns
+	if got := s.SimTimeNs(); math.Abs(got-10000) > 1e-6 {
+		t.Fatalf("compute-bound end = %g", got)
+	}
+	if u := s.PEUtilization(); u < 0.49 { // 1 of 2 PEs busy the whole time
+		t.Fatalf("compute-bound PE utilization = %g", u)
+	}
+	// Bandwidth-bound: many bytes, few edges -> low PE utilization.
+	s2 := newSim(t, smallCfg())
+	s2.PE(0).RunBlock(10, 10000, 0)
+	if u := s2.PEUtilization(); u > 0.01 {
+		t.Fatalf("bandwidth-bound PE utilization = %g, want tiny", u)
+	}
+}
+
+func TestUtilizationKneeWithPECount(t *testing.T) {
+	// Fixed per-edge payload such that >2 PEs saturate the bus: each PE
+	// computes 1 edge/ns and needs 4 bytes/edge; the 1 GB/s bus feeds
+	// 1 byte/ns total, so even a single PE is 4x oversubscribed... scale
+	// so the knee lands between 1 and 8: use 8 GB/s bus.
+	util := func(pes int) float64 {
+		cfg := smallCfg()
+		cfg.NumPEs = pes
+		cfg.BusGBps = 8 // 8 bytes/ns: with 4B/edge, feeds exactly 2 PEs
+		s := newSim(t, cfg)
+		// Dispatch blocks in rounds, as the engine's task queue does, so
+		// bus arbitration interleaves fairly across PEs.
+		for round := 0; round < 4; round++ {
+			var wg sync.WaitGroup
+			for i := 0; i < pes; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					s.PE(i).RunBlock(100000, 400000, 0)
+				}(i)
+			}
+			wg.Wait()
+		}
+		return s.PEUtilization()
+	}
+	u1, u2, u8 := util(1), util(2), util(8)
+	if u1 < 0.9 {
+		t.Fatalf("1 PE utilization = %g, want ~1 (not bus-bound)", u1)
+	}
+	if u2 < 0.8 {
+		t.Fatalf("2 PE utilization = %g, want high (bus exactly feeds 2)", u2)
+	}
+	if u8 > 0.5 {
+		t.Fatalf("8 PE utilization = %g, want starved (<0.5)", u8)
+	}
+	if !(u1 >= u2 && u2 > u8) {
+		t.Fatalf("utilization must fall with PE count: %g, %g, %g", u1, u2, u8)
+	}
+}
+
+func TestCPUWorkers(t *testing.T) {
+	s := newSim(t, smallCfg())
+	w := s.CPU(0)
+	end := w.RunScatter(100, 800)
+	if math.Abs(end-100) > 1e-9 { // 100 edges * 1 ns
+		t.Fatalf("scatter end = %g", end)
+	}
+	end = w.RunGather(100, 800)
+	if math.Abs(end-300) > 1e-9 { // +100 edges * 2 ns
+		t.Fatalf("gather end = %g", end)
+	}
+	if s.TrafficBytes(RandWrite) != 800 || s.TrafficBytes(RandRead) != 800 {
+		t.Fatal("CPU traffic not recorded")
+	}
+	if s.TrafficOps(RandWrite) != 1 {
+		t.Fatalf("ops = %d", s.TrafficOps(RandWrite))
+	}
+	if u := s.CPUUtilization(); u < 0.49 {
+		t.Fatalf("CPU utilization = %g", u)
+	}
+}
+
+func TestBusUtilization(t *testing.T) {
+	s := newSim(t, smallCfg())
+	s.PE(0).RunBlock(1, 1000, 0) // bus busy 1000ns of ~1000ns makespan
+	if u := s.BusUtilization(); u < 0.99 {
+		t.Fatalf("bus utilization = %g, want ~1", u)
+	}
+	empty := newSim(t, smallCfg())
+	if empty.BusUtilization() != 0 || empty.PEUtilization() != 0 || empty.CPUUtilization() != 0 {
+		t.Fatal("fresh simulator utilizations must be 0")
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	want := map[AccessKind]string{SeqRead: "seq-read", SeqWrite: "seq-write", RandWrite: "rand-write", RandRead: "rand-read"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if AccessKind(9).String() != "kind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestResources(t *testing.T) {
+	r := Resources("pagerank", 16, 4096, 8, 12, 1<<20, 1<<24)
+	if r.InputBufBytes != 2*32<<10 {
+		t.Fatalf("input buf = %d", r.InputBufBytes)
+	}
+	if r.OutputBufBytes != 4096*8 {
+		t.Fatalf("output buf = %d", r.OutputBufBytes)
+	}
+	if r.TotalOnChipBytes != 16*(r.InputBufBytes+r.OutputBufBytes+r.ScratchpadBytes) {
+		t.Fatal("on-chip total inconsistent")
+	}
+	if r.SharedBufferBytes != int64(1<<20)*8+int64(1<<24)*12 {
+		t.Fatalf("shared buffer = %d", r.SharedBufferBytes)
+	}
+	s := r.String()
+	for _, frag := range []string{"pagerank", "PEs=16", "MiB"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2048:    "2.00KiB",
+		3 << 20: "3.00MiB",
+		5 << 30: "5.00GiB",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBarrierAlignsClocks(t *testing.T) {
+	s := newSim(t, smallCfg())
+	s.PE(0).RunBlock(1000, 1000, 0) // makespan ~1100... compute 1000, write 0
+	before := s.SimTimeNs()
+	s.Barrier()
+	if got := s.CPU(1).LocalTimeNs(); got != before {
+		t.Fatalf("CPU clock %g not aligned to makespan %g", got, before)
+	}
+	if got := s.PE(1).LocalTimeNs(); got != before {
+		t.Fatalf("idle PE clock %g not aligned to makespan %g", got, before)
+	}
+	if s.SimTimeNs() != before {
+		t.Fatal("Barrier must not advance the makespan")
+	}
+}
+
+func TestCPUHasSlack(t *testing.T) {
+	s := newSim(t, smallCfg())
+	if s.CPUHasSlack() {
+		t.Fatal("fresh simulator: no PE work yet, no slack")
+	}
+	s.PE(0).RunBlock(1000, 10, 0)
+	s.PE(1).RunBlock(1000, 10, 0)
+	if !s.CPUHasSlack() {
+		t.Fatal("idle CPUs behind busy PEs must have slack")
+	}
+	// Load the CPUs past the PEs: slack disappears.
+	s.CPU(0).RunGather(10000, 0)
+	s.CPU(1).RunGather(10000, 0)
+	if s.CPUHasSlack() {
+		t.Fatal("overloaded CPUs must not report slack")
+	}
+}

@@ -1,0 +1,177 @@
+package accel
+
+import "container/heap"
+
+// This file is a cycle-level functional model of the GATHER reduction
+// microarchitecture of Sec. IV-C (right side of the paper's Fig. 2).
+//
+// The GATHER stage is a reduction over a vertex's in-edges. A naive
+// pipeline stalls whenever consecutive edges target the same destination:
+// the accumulator for that destination is busy for the combine latency L,
+// so a hub vertex serializes at one edge per L cycles — the dependency
+// stall the paper attributes to Graphicionado's atomic GATHER.
+//
+// GraphABCD's unit instead treats destination indices as dataflow tags:
+// any two ready items with the same tag (edges or partial sums) may pair
+// and issue to the reduction tree, out of order; unpaired items wait in an
+// on-chip scratchpad, and finished partial sums merge back into the input
+// stream. As long as some tag has two ready items, the unit issues one
+// combine per cycle, so throughput is one edge per cycle regardless of
+// the combine operator's latency.
+//
+// Both models compute the real reduction (they are functional), so tests
+// can check the results agree while comparing cycle counts.
+
+// Contribution is one tagged input to a reduction (an edge's value for
+// destination tag Tag).
+type Contribution struct {
+	Tag   uint32
+	Value float64
+}
+
+// ReductionResult is a completed per-tag reduction.
+type ReductionResult struct {
+	Tag   uint32
+	Value float64
+}
+
+// NaiveReduce models the stalling in-order pipeline: contributions issue
+// in order, at most one per cycle, and a contribution whose tag's
+// accumulator is still busy (for latencyCycles after its last combine)
+// stalls the whole pipeline. It returns the per-tag results and the total
+// cycle count.
+func NaiveReduce(in []Contribution, counts map[uint32]int, combine func(a, b float64) float64, latencyCycles int) ([]ReductionResult, int64) {
+	type acc struct {
+		value    float64
+		seen     int
+		busyTill int64
+	}
+	accs := make(map[uint32]*acc, len(counts))
+	cycle := int64(0)
+	for _, c := range in {
+		cycle++ // issue slot
+		a := accs[c.Tag]
+		if a == nil {
+			a = &acc{}
+			accs[c.Tag] = a
+		}
+		if a.busyTill > cycle {
+			// In-order pipeline: stall until the accumulator frees.
+			cycle = a.busyTill
+		}
+		if a.seen == 0 {
+			a.value = c.Value
+		} else {
+			a.value = combine(a.value, c.Value)
+			a.busyTill = cycle + int64(latencyCycles)
+		}
+		a.seen++
+	}
+	// Drain: results are ready when their last combine finishes.
+	var out []ReductionResult
+	for tag, a := range accs {
+		if a.busyTill > cycle {
+			cycle = a.busyTill
+		}
+		if a.seen != counts[tag] {
+			// Functional guard; callers supply consistent counts.
+			continue
+		}
+		out = append(out, ReductionResult{Tag: tag, Value: a.value})
+	}
+	return out, cycle
+}
+
+// DataflowReduce models the paper's tag-matched out-of-order unit: one
+// combine issues per cycle whenever any tag holds two ready items; combine
+// results become ready again latencyCycles later and merge back into the
+// stream. Input contribution i arrives (becomes ready) at cycle i+1 —
+// one edge streams in per cycle, the DMA rate. It returns the per-tag
+// results, the total cycle count, and the high-water mark of the
+// scratchpad holding unpaired items.
+func DataflowReduce(in []Contribution, counts map[uint32]int, combine func(a, b float64) float64, latencyCycles int) ([]ReductionResult, int64, int) {
+	// Ready items per tag, plus a min-heap of future arrivals (input
+	// stream and in-flight combine results).
+	ready := make(map[uint32][]float64, len(counts))
+	remaining := make(map[uint32]int, len(counts)) // combines left per tag
+	for tag, n := range counts {
+		if n > 0 {
+			remaining[tag] = n - 1
+		}
+	}
+	arrivals := &arrivalHeap{}
+	for i, c := range in {
+		heap.Push(arrivals, arrival{at: int64(i + 1), tag: c.Tag, value: c.Value})
+	}
+
+	var out []ReductionResult
+	cycle := int64(0)
+	maxScratch, scratch := 0, 0
+	pending := len(in) // items not yet retired into results or combines
+	for pending > 0 {
+		cycle++
+		// Absorb everything that has arrived by this cycle.
+		for arrivals.Len() > 0 && (*arrivals)[0].at <= cycle {
+			a := heap.Pop(arrivals).(arrival)
+			if remaining[a.tag] == 0 && len(ready[a.tag]) == 0 {
+				// Fully reduced: retire.
+				out = append(out, ReductionResult{Tag: a.tag, Value: a.value})
+				pending--
+				continue
+			}
+			ready[a.tag] = append(ready[a.tag], a.value)
+			scratch++
+			if scratch > maxScratch {
+				maxScratch = scratch
+			}
+		}
+		// Issue at most one combine per cycle: any tag with two ready items.
+		for tag, items := range ready {
+			if len(items) < 2 {
+				continue
+			}
+			v := combine(items[len(items)-1], items[len(items)-2])
+			items = items[:len(items)-2]
+			if len(items) == 0 {
+				delete(ready, tag)
+			} else {
+				ready[tag] = items
+			}
+			scratch -= 2
+			remaining[tag]--
+			pending-- // two items became one
+			heap.Push(arrivals, arrival{at: cycle + int64(latencyCycles), tag: tag, value: v})
+			break
+		}
+		// A lone ready item whose tag has no combines left retires freely.
+		for tag, items := range ready {
+			if remaining[tag] == 0 && len(items) == 1 {
+				out = append(out, ReductionResult{Tag: tag, Value: items[0]})
+				delete(ready, tag)
+				scratch--
+				pending--
+			}
+		}
+	}
+	return out, cycle, maxScratch
+}
+
+type arrival struct {
+	at    int64
+	tag   uint32
+	value float64
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int            { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

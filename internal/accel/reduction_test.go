@@ -1,0 +1,147 @@
+package accel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func add(a, b float64) float64 { return a + b }
+
+// expectedSums computes the reference reduction directly.
+func expectedSums(in []Contribution) (map[uint32]float64, map[uint32]int) {
+	sums := map[uint32]float64{}
+	counts := map[uint32]int{}
+	for _, c := range in {
+		sums[c.Tag] += c.Value
+		counts[c.Tag]++
+	}
+	return sums, counts
+}
+
+func checkResults(t *testing.T, got []ReductionResult, want map[uint32]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for _, r := range got {
+		w, ok := want[r.Tag]
+		if !ok {
+			t.Fatalf("unexpected tag %d", r.Tag)
+		}
+		if math.Abs(r.Value-w) > 1e-9*math.Max(1, math.Abs(w)) {
+			t.Fatalf("tag %d: %g, want %g", r.Tag, r.Value, w)
+		}
+	}
+}
+
+func randomStream(rng *rand.Rand, n, tags int) []Contribution {
+	in := make([]Contribution, n)
+	for i := range in {
+		in[i] = Contribution{Tag: uint32(rng.Intn(tags)), Value: float64(rng.Intn(100)) / 4}
+	}
+	return in
+}
+
+func TestReducersAreFunctionallyEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		in := randomStream(rng, 200+rng.Intn(300), 1+rng.Intn(40))
+		want, counts := expectedSums(in)
+		for _, lat := range []int{1, 4, 9} {
+			naive, _ := NaiveReduce(in, counts, add, lat)
+			checkResults(t, naive, want)
+			df, _, _ := DataflowReduce(in, counts, add, lat)
+			checkResults(t, df, want)
+		}
+	}
+}
+
+// The paper's claim (Sec. IV-C): the dataflow unit's throughput is one
+// edge per cycle regardless of the reduction operator's latency, while
+// the in-order pipeline degrades toward one edge per L cycles on
+// hub-heavy (single-tag) streams.
+func TestDataflowSustainsThroughputOnHubs(t *testing.T) {
+	const n, lat = 4096, 6
+	in := make([]Contribution, n)
+	for i := range in {
+		in[i] = Contribution{Tag: 0, Value: 1}
+	}
+	_, counts := expectedSums(in)
+
+	_, naiveCycles := NaiveReduce(in, counts, add, lat)
+	df, dfCycles, scratch := DataflowReduce(in, counts, add, lat)
+	if df[0].Value != n {
+		t.Fatalf("dataflow sum = %g", df[0].Value)
+	}
+	// Naive: every edge after the first stalls ~lat cycles.
+	if naiveCycles < int64(n)*int64(lat)*8/10 {
+		t.Fatalf("naive cycles %d suspiciously low (expect ~%d)", naiveCycles, n*lat)
+	}
+	// Dataflow: ~1 edge/cycle plus a log-depth drain tail.
+	if dfCycles > int64(n)+int64(lat)*20 {
+		t.Fatalf("dataflow cycles %d, want ~%d (one edge per cycle)", dfCycles, n)
+	}
+	if naiveCycles < 3*dfCycles {
+		t.Fatalf("dataflow should win >=3x on hubs: naive %d vs dataflow %d", naiveCycles, dfCycles)
+	}
+	// The scratchpad stays small: unpaired items are bounded by the
+	// combine latency, not the stream length.
+	if scratch > 16*lat {
+		t.Fatalf("scratchpad high-water %d, want O(latency)", scratch)
+	}
+}
+
+// With all-distinct tags there is nothing to combine: both designs run at
+// stream rate and agree.
+func TestReducersDistinctTags(t *testing.T) {
+	const n = 512
+	in := make([]Contribution, n)
+	for i := range in {
+		in[i] = Contribution{Tag: uint32(i), Value: float64(i)}
+	}
+	want, counts := expectedSums(in)
+	naive, naiveCycles := NaiveReduce(in, counts, add, 8)
+	df, dfCycles, _ := DataflowReduce(in, counts, add, 8)
+	checkResults(t, naive, want)
+	checkResults(t, df, want)
+	if naiveCycles != n {
+		t.Fatalf("naive cycles = %d, want %d (no stalls without shared tags)", naiveCycles, n)
+	}
+	if dfCycles > n+8 {
+		t.Fatalf("dataflow cycles = %d, want ~%d", dfCycles, n)
+	}
+}
+
+// Property: for random streams and latencies both reducers retire every
+// tag exactly once with the correct sum.
+func TestPropertyReducersComplete(t *testing.T) {
+	f := func(seed int64, latBits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomStream(rng, 1+rng.Intn(200), 1+rng.Intn(20))
+		want, counts := expectedSums(in)
+		lat := 1 + int(latBits%8)
+		naive, _ := NaiveReduce(in, counts, add, lat)
+		df, _, _ := DataflowReduce(in, counts, add, lat)
+		ok := func(rs []ReductionResult) bool {
+			if len(rs) != len(want) {
+				return false
+			}
+			sort.Slice(rs, func(a, b int) bool { return rs[a].Tag < rs[b].Tag })
+			seen := map[uint32]bool{}
+			for _, r := range rs {
+				if seen[r.Tag] || math.Abs(r.Value-want[r.Tag]) > 1e-9*math.Max(1, math.Abs(want[r.Tag])) {
+					return false
+				}
+				seen[r.Tag] = true
+			}
+			return true
+		}
+		return ok(naive) && ok(df)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

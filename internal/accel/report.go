@@ -1,0 +1,75 @@
+package accel
+
+import "fmt"
+
+// ResourceReport is the reproduction's substitute for the paper's Table IV
+// (FPGA resource utilization): since there is no FPGA, we report the
+// modeled accelerator's buffer footprints, which are the quantities the
+// paper's Table IV discussion actually compares against Graphicionado's
+// 64-256 MB scratchpad (GraphABCD needs only small streaming buffers
+// because of the pull-push operator).
+type ResourceReport struct {
+	Algorithm string
+	NumPEs    int
+	// InputBufBytes is the per-PE streaming input FIFO (double-buffered
+	// fixed-size chunks — edge blocks are streamed, never staged whole,
+	// which is why the paper's whole-design BRAM stays at 2.69 MB).
+	InputBufBytes int64
+	// OutputBufBytes is the per-PE output buffer sized to one vertex
+	// value block.
+	OutputBufBytes int64
+	// ScratchpadBytes is the per-PE dataflow-tag scratchpad for unpaired
+	// partial sums (one slot per in-flight destination vertex).
+	ScratchpadBytes int64
+	// TotalOnChipBytes is the summed on-chip footprint across PEs — the
+	// analog of the paper's 2.69 MB BRAM figure.
+	TotalOnChipBytes int64
+	// SharedBufferBytes is the host-side shared memory buffer holding the
+	// vertex values and edge caches (the analog of the 35 MB LLC figure).
+	SharedBufferBytes int64
+}
+
+// streamChunkBytes is the per-buffer size of the PE input FIFO. Edge
+// blocks stream through two of these regardless of block size.
+const streamChunkBytes = 32 << 10
+
+// Resources computes the modeled footprint for a run over a graph with the
+// given block geometry and value width.
+//
+// blockVertices is the vertices per block; valueBytes is the encoded
+// vertex value width; edgeBytes the streamed per-edge payload (weight +
+// cached value); totalVertices/totalEdges size the shared host buffer.
+func Resources(algorithm string, numPEs int, blockVertices int,
+	valueBytes, edgeBytes int64, totalVertices int, totalEdges int64) ResourceReport {
+	in := int64(2 * streamChunkBytes) // double-buffered streaming input
+	out := int64(blockVertices) * valueBytes
+	scratch := int64(blockVertices) * (valueBytes + 4) // value + tag per slot
+	return ResourceReport{
+		Algorithm:         algorithm,
+		NumPEs:            numPEs,
+		InputBufBytes:     in,
+		OutputBufBytes:    out,
+		ScratchpadBytes:   scratch,
+		TotalOnChipBytes:  int64(numPEs) * (in + out + scratch),
+		SharedBufferBytes: int64(totalVertices)*valueBytes + totalEdges*edgeBytes,
+	}
+}
+
+// String formats the report as a Table-IV-style row.
+func (r ResourceReport) String() string {
+	return fmt.Sprintf("%-10s PEs=%d inBuf=%s outBuf=%s scratch=%s onChip=%s shared=%s",
+		r.Algorithm, r.NumPEs, fmtBytes(r.InputBufBytes), fmtBytes(r.OutputBufBytes),
+		fmtBytes(r.ScratchpadBytes), fmtBytes(r.TotalOnChipBytes), fmtBytes(r.SharedBufferBytes))
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

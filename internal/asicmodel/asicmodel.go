@@ -1,0 +1,101 @@
+// Package asicmodel is an analytic performance model of Graphicionado
+// (Ham et al., MICRO 2016), the ASIC implementation of GraphMat's
+// execution model and the paper's hardware baseline.
+//
+// The paper itself does not run Graphicionado: it takes the published
+// numbers and projects them down from 68 GB/s to GraphABCD's 12.8 GB/s
+// budget, arguing both systems are memory-bandwidth-bound (Sec. V-A,
+// footnote 6). This package implements that projection methodology: an
+// iteration-accurate work count (Graphicionado executes exactly
+// GraphMat's sweeps — same algorithm design options, hence the shared
+// convergence column in Table III) pushed through a roofline of pipeline
+// throughput vs. memory bandwidth.
+//
+// Graphicionado's push pipeline keeps all vertex values in a 64-256 MB
+// on-chip eDRAM scratchpad (its Table IV contrast with GraphABCD's small
+// streaming buffers), so off-chip traffic is dominated by edge reads.
+package asicmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes the modeled ASIC.
+type Config struct {
+	// ClockGHz is the accelerator clock (Graphicionado: 1 GHz).
+	ClockGHz float64
+	// Streams is the number of parallel processing streams (8).
+	Streams int
+	// EdgesPerCycle is the per-stream edge throughput (1).
+	EdgesPerCycle float64
+	// BandwidthGBps is the memory bandwidth budget. The paper projects
+	// Graphicionado's 4xDDR4-2133 68 GB/s down to 12.8 GB/s.
+	BandwidthGBps float64
+	// BytesPerEdge is the off-chip payload per traversed edge (dst id +
+	// weight in Graphicionado's compact edge stream).
+	BytesPerEdge int64
+	// VertexBytes is the per-vertex scratchpad footprint.
+	VertexBytes int64
+}
+
+// DefaultGraphicionado returns the projected configuration the paper
+// compares against: Graphicionado's pipeline under GraphABCD's 12.8 GB/s.
+func DefaultGraphicionado() Config {
+	return Config{
+		ClockGHz:      1,
+		Streams:       8,
+		EdgesPerCycle: 1,
+		BandwidthGBps: 12.8,
+		BytesPerEdge:  8,
+		VertexBytes:   8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.ClockGHz <= 0:
+		return fmt.Errorf("asicmodel: ClockGHz must be positive, got %g", c.ClockGHz)
+	case c.Streams <= 0:
+		return fmt.Errorf("asicmodel: Streams must be positive, got %d", c.Streams)
+	case c.EdgesPerCycle <= 0:
+		return fmt.Errorf("asicmodel: EdgesPerCycle must be positive, got %g", c.EdgesPerCycle)
+	case c.BandwidthGBps <= 0:
+		return fmt.Errorf("asicmodel: BandwidthGBps must be positive, got %g", c.BandwidthGBps)
+	case c.BytesPerEdge <= 0:
+		return fmt.Errorf("asicmodel: BytesPerEdge must be positive, got %d", c.BytesPerEdge)
+	case c.VertexBytes <= 0:
+		return fmt.Errorf("asicmodel: VertexBytes must be positive, got %d", c.VertexBytes)
+	}
+	return nil
+}
+
+// EdgesPerSecond returns the roofline throughput: the lesser of pipeline
+// rate and bandwidth-fed rate.
+func (c Config) EdgesPerSecond() float64 {
+	pipeline := c.ClockGHz * 1e9 * float64(c.Streams) * c.EdgesPerCycle
+	memory := c.BandwidthGBps * 1e9 / float64(c.BytesPerEdge)
+	if memory < pipeline {
+		return memory
+	}
+	return pipeline
+}
+
+// ProjectRuntime converts a total traversed-edge count (e.g. GraphMat's
+// EdgesTraversed over the full run, since Graphicionado executes the same
+// sweeps) into projected execution time.
+func (c Config) ProjectRuntime(edgesTraversed int64) time.Duration {
+	if edgesTraversed <= 0 {
+		return 0
+	}
+	sec := float64(edgesTraversed) / c.EdgesPerSecond()
+	return time.Duration(sec * float64(time.Second))
+}
+
+// ScratchpadBytes returns the on-chip vertex store Graphicionado needs for
+// a graph with n vertices — the quantity the paper contrasts (64-256 MB)
+// with GraphABCD's 2.69 MB of streaming buffers.
+func (c Config) ScratchpadBytes(numVertices int) int64 {
+	return int64(numVertices) * c.VertexBytes
+}

@@ -1,0 +1,66 @@
+package asicmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := DefaultGraphicionado().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.ClockGHz = 0 },
+		func(c *Config) { c.Streams = 0 },
+		func(c *Config) { c.EdgesPerCycle = -1 },
+		func(c *Config) { c.BandwidthGBps = 0 },
+		func(c *Config) { c.BytesPerEdge = 0 },
+		func(c *Config) { c.VertexBytes = -1 },
+	}
+	for i, m := range mutations {
+		cfg := DefaultGraphicionado()
+		m(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestRooflineSelectsBindingResource(t *testing.T) {
+	// Default: pipeline 8 Ge/s, memory 12.8e9/8 = 1.6 Ge/s -> memory-bound,
+	// exactly the paper's premise.
+	c := DefaultGraphicionado()
+	if got := c.EdgesPerSecond(); math.Abs(got-1.6e9) > 1 {
+		t.Fatalf("projected throughput = %g, want 1.6e9", got)
+	}
+	// Give it the original 68 GB/s: memory 8.5 Ge/s > pipeline 8 Ge/s ->
+	// pipeline-bound.
+	c.BandwidthGBps = 68
+	if got := c.EdgesPerSecond(); math.Abs(got-8e9) > 1 {
+		t.Fatalf("unprojected throughput = %g, want 8e9", got)
+	}
+}
+
+func TestProjectRuntime(t *testing.T) {
+	c := DefaultGraphicionado()
+	// 1.6e9 edges at 1.6 Ge/s = 1 second.
+	if got := c.ProjectRuntime(1_600_000_000); got != time.Second {
+		t.Fatalf("runtime = %v, want 1s", got)
+	}
+	if c.ProjectRuntime(0) != 0 || c.ProjectRuntime(-5) != 0 {
+		t.Fatal("non-positive edge counts must project to 0")
+	}
+}
+
+func TestScratchpad(t *testing.T) {
+	c := DefaultGraphicionado()
+	// LiveJournal-scale: 4.85M vertices * 8B = 38.8 MB, in the 64-256MB
+	// ballpark once Graphicionado's duplicated property arrays are counted.
+	if got := c.ScratchpadBytes(4_850_000); got != 38_800_000 {
+		t.Fatalf("scratchpad = %d", got)
+	}
+}

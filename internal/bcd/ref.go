@@ -1,0 +1,138 @@
+package bcd
+
+import (
+	"container/heap"
+	"math"
+
+	"graphabcd/internal/graph"
+)
+
+// This file holds straightforward reference implementations used by tests
+// and the experiment harness to validate every engine's output. They favour
+// clarity over speed.
+
+// RefPageRank runs Jacobi power iteration until the L1 residual drops
+// below eps (or maxIters sweeps) and returns the rank vector.
+func RefPageRank(g *graph.Graph, damping, eps float64, maxIters int) []float64 {
+	n := g.NumVertices()
+	x := make([]float64, n)
+	next := make([]float64, n)
+	for v := range x {
+		x[v] = 1 / float64(n)
+	}
+	for it := 0; it < maxIters; it++ {
+		res := 0.0
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for s := g.InOffset(v); s < g.InOffset(v+1); s++ {
+				src := g.InSrc(s)
+				sum += x[src] / float64(g.OutDegree(src))
+			}
+			next[v] = (1-damping)/float64(n) + damping*sum
+			res += math.Abs(next[v] - x[v])
+		}
+		x, next = next, x
+		if res < eps {
+			break
+		}
+	}
+	return x
+}
+
+// RefSSSP computes exact shortest-path distances with Dijkstra's algorithm.
+func RefSSSP(g *graph.Graph, source uint32) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for v := range dist {
+		dist[v] = math.Inf(1)
+	}
+	if int(source) >= n {
+		return dist
+	}
+	dist[source] = 0
+	pq := &distHeap{{v: source, d: 0}}
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(distEntry)
+		if top.d > dist[top.v] {
+			continue
+		}
+		for i := g.OutOffset(int(top.v)); i < g.OutOffset(int(top.v)+1); i++ {
+			u := g.OutDst(i)
+			slot := g.OutPos(i)
+			if nd := top.d + float64(g.InWeight(slot)); nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distEntry{v: u, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distEntry struct {
+	v uint32
+	d float64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RefBFS computes breadth-first levels from source; Unreached for
+// unreachable vertices.
+func RefBFS(g *graph.Graph, source uint32) []uint64 {
+	n := g.NumVertices()
+	level := make([]uint64, n)
+	for v := range level {
+		level[v] = Unreached
+	}
+	if int(source) >= n {
+		return level
+	}
+	level[source] = 0
+	queue := []uint32{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for i := g.OutOffset(int(v)); i < g.OutOffset(int(v)+1); i++ {
+			u := g.OutDst(i)
+			if level[u] == Unreached {
+				level[u] = level[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return level
+}
+
+// RefCC computes the fixpoint of directed min-label propagation (labels
+// flow along edge direction), matching the CC program's semantics. On a
+// symmetric graph this is undirected connected components.
+func RefCC(g *graph.Graph) []uint64 {
+	n := g.NumVertices()
+	label := make([]uint64, n)
+	for v := range label {
+		label[v] = uint64(v)
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			for s := g.InOffset(v); s < g.InOffset(v+1); s++ {
+				if l := label[g.InSrc(s)]; l < label[v] {
+					label[v] = l
+					changed = true
+				}
+			}
+		}
+	}
+	return label
+}

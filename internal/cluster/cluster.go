@@ -1,0 +1,118 @@
+// Package cluster scales GraphABCD out across multiple nodes — the
+// distributed deployment the paper's asynchronous design argues for
+// (Sec. IV-A3: "the whole system can scale out to more heterogeneous
+// platforms without further coordination logic") but only prototypes on a
+// single CPU-FPGA pair.
+//
+// Each node owns a contiguous range of vertex blocks: its vertex values,
+// the edge-cache slots of its vertices' in-edges, and a private scheduler
+// and worker set. SCATTER updates whose destination block lives on
+// another node travel as state-based messages through that node's inbox
+// channel (optionally delayed to model network latency). Because updates
+// are state-based, messages are idempotent and tolerate reordering and
+// delay — the bounded-staleness condition of asynchronous BCD is the only
+// correctness requirement, so there are still no locks and no barriers,
+// only channels.
+//
+// Termination uses an exact distributed-quiescence check: a monotone
+// sent-message counter, an in-flight counter decremented only after the
+// receiving node has applied (and re-activated from) a message, and a
+// coordinator that accepts termination only when (1) no message is in
+// flight, then (2) every node is quiescent, and finally (3) no message
+// was sent while it looked. See termination.go for the argument.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/core"
+	"graphabcd/internal/graph"
+)
+
+// Config parameterizes a distributed run.
+type Config struct {
+	// Nodes is the number of nodes the blocks are partitioned across.
+	Nodes int
+	// BlockSize is the BCD block size within each node.
+	BlockSize int
+	// WorkersPerNode is the number of gather-apply workers per node.
+	WorkersPerNode int
+	// Epsilon is the activation threshold, as in core.Config.
+	Epsilon float64
+	// MaxEpochs bounds total work at MaxEpochs * |V| vertex updates
+	// across the cluster; 0 means run to convergence.
+	MaxEpochs float64
+	// NetDelay delays every inter-node message by this duration,
+	// modeling network latency. Asynchronous BCD requires only that the
+	// delay is bounded; correctness tests inject it.
+	NetDelay time.Duration
+	// BatchSize groups remote updates per message (amortizes the
+	// per-message cost, increases staleness). 0 means 64.
+	BatchSize int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster: Nodes must be positive, got %d", c.Nodes)
+	case c.BlockSize < 0:
+		return fmt.Errorf("cluster: negative block size %d", c.BlockSize)
+	case c.WorkersPerNode <= 0:
+		return fmt.Errorf("cluster: WorkersPerNode must be positive, got %d", c.WorkersPerNode)
+	case c.Epsilon < 0:
+		return fmt.Errorf("cluster: negative epsilon %g", c.Epsilon)
+	case c.MaxEpochs < 0:
+		return fmt.Errorf("cluster: negative MaxEpochs %g", c.MaxEpochs)
+	case c.NetDelay < 0:
+		return fmt.Errorf("cluster: negative NetDelay %v", c.NetDelay)
+	case c.BatchSize < 0:
+		return fmt.Errorf("cluster: negative BatchSize %d", c.BatchSize)
+	}
+	return nil
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize == 0 {
+		return 64
+	}
+	return c.BatchSize
+}
+
+// Stats summarizes a distributed run.
+type Stats struct {
+	core.Stats
+	// Nodes is the node count the run used.
+	Nodes int
+	// MessagesSent counts individual remote slot updates.
+	MessagesSent int64
+	// BatchesSent counts network messages (batches of updates).
+	BatchesSent int64
+	// LocalWrites counts scatter writes that stayed node-local.
+	LocalWrites int64
+}
+
+// Result bundles final values with statistics.
+type Result[V any] struct {
+	Values []V
+	Stats  Stats
+}
+
+// Run executes prog over g partitioned across cfg.Nodes nodes.
+func Run[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*Result[V], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := prog.(bcd.OpBased[V, M]); ok {
+		return nil, fmt.Errorf("cluster: operation-based program %q is not supported: "+
+			"delta messages are not idempotent under the cluster's at-least-once channel semantics",
+			prog.Name())
+	}
+	c, err := newCluster(g, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.run()
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/gen"
+	"graphabcd/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(9, 6, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func baseCfg(nodes int) Config {
+	return Config{Nodes: nodes, BlockSize: 32, WorkersPerNode: 2, Epsilon: 1e-12}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := baseCfg(2).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Nodes: 0, WorkersPerNode: 1},
+		{Nodes: 1, WorkersPerNode: 0},
+		{Nodes: 1, WorkersPerNode: 1, BlockSize: -1},
+		{Nodes: 1, WorkersPerNode: 1, Epsilon: -1},
+		{Nodes: 1, WorkersPerNode: 1, MaxEpochs: -1},
+		{Nodes: 1, WorkersPerNode: 1, NetDelay: -time.Second},
+		{Nodes: 1, WorkersPerNode: 1, BatchSize: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %d accepted", i)
+		}
+		if _, err := Run[float64, float64](testGraph(t), bcd.PageRank{}, cfg); err == nil {
+			t.Errorf("config %d: Run accepted invalid config", i)
+		}
+	}
+}
+
+func TestDistributedPageRankMatchesReference(t *testing.T) {
+	g := testGraph(t)
+	want := bcd.RefPageRank(g, 0.85, 1e-13, 1000)
+	for _, nodes := range []int{1, 2, 4, 7} {
+		res, err := Run[float64, float64](g, bcd.PageRank{}, baseCfg(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.Converged {
+			t.Fatalf("%d nodes: did not converge", nodes)
+		}
+		for v := range want {
+			if d := math.Abs(res.Values[v] - want[v]); d > 1e-7 {
+				t.Fatalf("%d nodes: rank[%d] off by %g", nodes, v, d)
+			}
+		}
+		if nodes == 1 && res.Stats.MessagesSent != 0 {
+			t.Fatalf("single node sent %d messages", res.Stats.MessagesSent)
+		}
+		if nodes > 1 && res.Stats.MessagesSent == 0 {
+			t.Fatalf("%d nodes exchanged no messages", nodes)
+		}
+		if res.Stats.Nodes != nodes {
+			t.Fatalf("stats report %d nodes", res.Stats.Nodes)
+		}
+	}
+}
+
+func TestDistributedSSSPExact(t *testing.T) {
+	cfgG := gen.DefaultRMAT(9, 6, 78)
+	cfgG.MaxWeight = 16
+	g, err := gen.RMAT(cfgG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := uint32(3)
+	want := bcd.RefSSSP(g, src)
+	cfg := baseCfg(3)
+	cfg.Epsilon = 0
+	res, err := Run[float64, float64](g, bcd.SSSP{Source: src}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		got := res.Values[v]
+		if got != want[v] && !(math.IsInf(got, 1) && math.IsInf(want[v], 1)) {
+			t.Fatalf("dist[%d] = %g, want %g", v, got, want[v])
+		}
+	}
+}
+
+// Injected network latency must not affect the fixpoint — the bounded
+// delay of asynchronous BCD in action across nodes.
+func TestDistributedToleratesNetworkDelay(t *testing.T) {
+	g := testGraph(t)
+	want := bcd.RefPageRank(g, 0.85, 1e-13, 1000)
+	cfg := baseCfg(4)
+	cfg.NetDelay = 2 * time.Millisecond
+	cfg.BatchSize = 16
+	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatal("did not converge under network delay")
+	}
+	for v := range want {
+		if d := math.Abs(res.Values[v] - want[v]); d > 1e-7 {
+			t.Fatalf("rank[%d] off by %g under delay", v, d)
+		}
+	}
+}
+
+func TestDistributedBudgetStops(t *testing.T) {
+	g := testGraph(t)
+	cfg := baseCfg(2)
+	cfg.Epsilon = 0 // never naturally quiescent within the budget
+	cfg.MaxEpochs = 2
+	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Converged {
+		t.Fatal("budget-stopped run must not report convergence")
+	}
+	if res.Stats.Epochs > 4 {
+		t.Fatalf("epochs %.1f far beyond budget 2", res.Stats.Epochs)
+	}
+}
+
+func TestDistributedMoreNodesThanBlocks(t *testing.T) {
+	g, err := gen.Uniform(40, 200, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Nodes: 8, BlockSize: 16, WorkersPerNode: 1, Epsilon: 1e-12}
+	// 40 vertices / 16 = 3 blocks across 8 nodes: most nodes own nothing.
+	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatal("did not converge with idle nodes")
+	}
+	want := bcd.RefPageRank(g, 0.85, 1e-13, 1000)
+	for v := range want {
+		if d := math.Abs(res.Values[v] - want[v]); d > 1e-7 {
+			t.Fatalf("rank[%d] off by %g", v, d)
+		}
+	}
+}
+
+func TestDistributedRejectsOpBased(t *testing.T) {
+	if _, err := Run[float64, float64](testGraph(t), bcd.PageRankDelta{}, baseCfg(2)); err == nil {
+		t.Fatal("operation-based programs must be rejected")
+	}
+}
+
+func TestDistributedMessageAccounting(t *testing.T) {
+	g := testGraph(t)
+	cfg := baseCfg(4)
+	cfg.BatchSize = 8
+	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BatchesSent == 0 || res.Stats.MessagesSent < res.Stats.BatchesSent {
+		t.Fatalf("accounting wrong: %d messages in %d batches",
+			res.Stats.MessagesSent, res.Stats.BatchesSent)
+	}
+	if res.Stats.LocalWrites+res.Stats.MessagesSent != res.Stats.ScatterWrites {
+		t.Fatal("local+remote writes must equal total scatter writes")
+	}
+}
+
+// BatchSize 1 sends one message per remote slot update — the worst-case
+// message pattern must still be exact.
+func TestDistributedUnbatchedMessages(t *testing.T) {
+	g := testGraph(t)
+	want := bcd.RefPageRank(g, 0.85, 1e-13, 1000)
+	cfg := baseCfg(3)
+	cfg.BatchSize = 1
+	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Stats.BatchesSent != res.Stats.MessagesSent {
+		t.Fatalf("batch size 1: %d batches for %d messages",
+			res.Stats.BatchesSent, res.Stats.MessagesSent)
+	}
+	for v := range want {
+		if d := math.Abs(res.Values[v] - want[v]); d > 1e-7 {
+			t.Fatalf("rank[%d] off by %g", v, d)
+		}
+	}
+}

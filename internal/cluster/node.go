@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/core"
+	"graphabcd/internal/graph"
+	"graphabcd/internal/sched"
+	"graphabcd/internal/word"
+)
+
+// clusterRun is the shared state of one distributed execution.
+type clusterRun[V, M any] struct {
+	g    *graph.Graph
+	prog bcd.Program[V, M]
+	cfg  Config
+	part *graph.Partition
+
+	values *word.Array[V] // vertex values (each owned by one node)
+	cache  *word.Array[V] // in-edge cache slots (owned by the dst's node)
+
+	blockOwner []int32 // global block id -> node id
+	nodes      []*node[V, M]
+
+	// Distributed-termination accounting (see checkQuiescence).
+	totalSent atomic.Int64 // monotone count of batches ever sent
+	inflight  atomic.Int64 // batches sent but not yet fully applied
+
+	// Work accounting.
+	vertices atomic.Int64
+	blocks   atomic.Int64
+	edges    atomic.Int64
+
+	msgs    atomic.Int64 // remote slot updates
+	batches atomic.Int64
+	localW  atomic.Int64 // node-local scatter writes
+
+	budget    int64 // vertex-update budget from MaxEpochs
+	stopping  atomic.Bool
+	converged atomic.Bool
+}
+
+// node is one member of the cluster.
+type node[V, M any] struct {
+	id       int
+	blockLo  int // global id of the node's first block
+	numLocal int
+	st       *sched.State // indexed by local block id (global - blockLo)
+	inbox    chan batch
+}
+
+// batch is one network message: a group of state-based edge-cache updates
+// destined for blocks of a single node.
+type batch struct {
+	sentAt time.Time
+	slots  []int64  // CSC slot indices on the receiving node
+	blocks []int32  // receiving node's local block index per slot
+	words  []uint64 // encoded values, len = len(slots) * codec.Words()
+}
+
+func newCluster[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*clusterRun[V, M], error) {
+	part, err := graph.NewPartition(g, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	codec := prog.Codec()
+	c := &clusterRun[V, M]{
+		g:      g,
+		prog:   prog,
+		cfg:    cfg,
+		part:   part,
+		values: word.NewArray(codec, g.NumVertices()),
+		cache:  word.NewArray(codec, g.NumEdges()),
+	}
+	nb := part.NumBlocks()
+	c.blockOwner = make([]int32, nb)
+	c.nodes = make([]*node[V, M], cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		lo, hi := i*nb/cfg.Nodes, (i+1)*nb/cfg.Nodes
+		for b := lo; b < hi; b++ {
+			c.blockOwner[b] = int32(i)
+		}
+		c.nodes[i] = &node[V, M]{
+			id:       i,
+			blockLo:  lo,
+			numLocal: hi - lo,
+			st:       sched.NewState(hi - lo),
+			inbox:    make(chan batch, 1024),
+		}
+	}
+	c.initArrays()
+	return c, nil
+}
+
+func (c *clusterRun[V, M]) initArrays() {
+	buf := make([]uint64, c.values.Words())
+	for v := 0; v < c.g.NumVertices(); v++ {
+		c.values.StoreBuf(int64(v), c.prog.Init(uint32(v), c.g), buf)
+		for s := c.g.InOffset(v); s < c.g.InOffset(v+1); s++ {
+			c.cache.StoreBuf(s, c.prog.InitEdge(c.g.InSrc(s), c.g), buf)
+		}
+	}
+}
+
+// run starts every node's workers and appliers, the coordinator, and
+// collects the result.
+func (c *clusterRun[V, M]) run() (*Result[V], error) {
+	start := time.Now()
+	c.budget = 1<<63 - 1
+	if c.cfg.MaxEpochs > 0 {
+		c.budget = int64(c.cfg.MaxEpochs * float64(c.g.NumVertices()))
+	}
+	for _, n := range c.nodes {
+		n.st.ActivateAll(1)
+	}
+	var workers, appliers sync.WaitGroup
+	for _, n := range c.nodes {
+		n := n
+		appliers.Add(1)
+		go func() {
+			defer appliers.Done()
+			c.applyLoop(n)
+		}()
+		for w := 0; w < c.cfg.WorkersPerNode; w++ {
+			workers.Add(1)
+			go func() {
+				defer workers.Done()
+				c.workerLoop(n)
+			}()
+		}
+	}
+	c.coordinate()
+	workers.Wait()
+	for _, n := range c.nodes {
+		close(n.inbox)
+	}
+	appliers.Wait()
+
+	res := &Result[V]{Values: make([]V, c.g.NumVertices())}
+	buf := make([]uint64, c.values.Words())
+	for v := range res.Values {
+		c.values.LoadBuf(int64(v), &res.Values[v], buf)
+	}
+	n := c.g.NumVertices()
+	res.Stats = Stats{
+		Stats: core.Stats{
+			BlockUpdates:   c.blocks.Load(),
+			VertexUpdates:  c.vertices.Load(),
+			EdgesTraversed: c.edges.Load(),
+			ScatterWrites:  c.localW.Load() + c.msgs.Load(),
+			Converged:      c.converged.Load(),
+			WallTime:       time.Since(start),
+		},
+		Nodes:        c.cfg.Nodes,
+		MessagesSent: c.msgs.Load(),
+		BatchesSent:  c.batches.Load(),
+		LocalWrites:  c.localW.Load(),
+	}
+	if n > 0 {
+		res.Stats.Epochs = float64(res.Stats.VertexUpdates) / float64(n)
+	}
+	return res, nil
+}
+
+// workerLoop is one node-local fused gather-apply-scatter worker, cycling
+// over the node's own blocks.
+func (c *clusterRun[V, M]) workerLoop(n *node[V, M]) {
+	sch, err := sched.New(sched.Cyclic, n.st, uint64(n.id)+1)
+	if err != nil {
+		panic(err) // cyclic is always constructible
+	}
+	ws := newWorkerState(c.prog, c.cfg)
+	spins := 0
+	for !c.stopping.Load() {
+		if c.vertices.Load() >= c.budget {
+			// Workers police the budget themselves; the coordinator's
+			// polling interval would otherwise allow a large overshoot.
+			c.stopping.Store(true)
+			return
+		}
+		local, ok := sch.Next()
+		if !ok {
+			spins++
+			if spins < 64 {
+				// Another worker may hold every active block; yield.
+				time.Sleep(time.Microsecond)
+			} else {
+				time.Sleep(50 * time.Microsecond)
+			}
+			continue
+		}
+		spins = 0
+		global := n.blockLo + local
+		c.processBlock(n, global, ws)
+		n.st.Done(local)
+	}
+}
+
+// workerState is the per-worker scratch.
+type workerState[V, M any] struct {
+	acc      M
+	old, src V
+	buf      []uint64
+	enc      []uint64 // encoded scatter value
+	deltas   []float64
+	pending  []batch // one building batch per destination node
+}
+
+func newWorkerState[V, M any](prog bcd.Program[V, M], cfg Config) *workerState[V, M] {
+	words := prog.Codec().Words()
+	if words < 2 {
+		words = 2
+	}
+	return &workerState[V, M]{
+		acc:     prog.NewAccum(),
+		buf:     make([]uint64, words),
+		enc:     make([]uint64, prog.Codec().Words()),
+		pending: make([]batch, cfg.Nodes),
+	}
+}
+
+// processBlock runs the fused GAS chain for one global block on node n.
+func (c *clusterRun[V, M]) processBlock(n *node[V, M], b int, ws *workerState[V, M]) {
+	lo, hi := c.part.VertexRange(b)
+	if cap(ws.deltas) < hi-lo {
+		ws.deltas = make([]float64, hi-lo)
+	}
+	deltas := ws.deltas[:hi-lo]
+	var edges int64
+
+	for v := lo; v < hi; v++ {
+		c.values.LoadBuf(int64(v), &ws.old, ws.buf)
+		c.prog.ResetAccum(&ws.acc)
+		slo, shi := c.g.InOffset(v), c.g.InOffset(v+1)
+		for s := slo; s < shi; s++ {
+			c.cache.LoadBuf(s, &ws.src, ws.buf)
+			c.prog.EdgeGather(&ws.acc, ws.old, c.g.InWeight(s), ws.src)
+		}
+		edges += shi - slo
+		newVal := c.prog.Apply(uint32(v), ws.old, &ws.acc, shi-slo, c.g)
+		if c.prog.Delta(ws.old, newVal) == 0 {
+			deltas[v-lo] = 0
+			continue
+		}
+		deltas[v-lo] = c.prog.Delta(
+			c.prog.ScatterValue(uint32(v), ws.old, c.g),
+			c.prog.ScatterValue(uint32(v), newVal, c.g))
+		c.values.StoreBuf(int64(v), newVal, ws.buf)
+	}
+	c.blocks.Add(1)
+	c.vertices.Add(int64(hi - lo))
+	c.edges.Add(edges)
+
+	// Scatter: local slots store directly; remote slots batch into
+	// state-based messages for their owner node.
+	codec := c.prog.Codec()
+	for v := lo; v < hi; v++ {
+		d := deltas[v-lo]
+		if d <= c.cfg.Epsilon {
+			continue
+		}
+		c.values.LoadBuf(int64(v), &ws.old, ws.buf)
+		sval := c.prog.ScatterValue(uint32(v), ws.old, c.g)
+		codec.Encode(sval, ws.enc)
+		for i := c.g.OutOffset(v); i < c.g.OutOffset(v+1); i++ {
+			slot := c.g.OutPos(i)
+			db := c.part.BlockOf(c.g.OutDst(i))
+			owner := int(c.blockOwner[db])
+			if owner == n.id {
+				c.cache.StoreBuf(slot, sval, ws.buf)
+				n.st.Activate(db-n.blockLo, d)
+				c.localW.Add(1)
+				continue
+			}
+			p := &ws.pending[owner]
+			p.slots = append(p.slots, slot)
+			p.blocks = append(p.blocks, int32(db-c.nodes[owner].blockLo))
+			p.words = append(p.words, ws.enc...)
+			if len(p.slots) >= c.cfg.batchSize() {
+				c.flush(owner, p)
+			}
+		}
+	}
+	for owner := range ws.pending {
+		if len(ws.pending[owner].slots) > 0 {
+			c.flush(owner, &ws.pending[owner])
+		}
+	}
+}
+
+// flush sends the building batch to its owner node. Counter order matters
+// for termination: totalSent and inflight rise before the send.
+func (c *clusterRun[V, M]) flush(owner int, p *batch) {
+	out := batch{
+		sentAt: time.Now(),
+		slots:  append([]int64(nil), p.slots...),
+		blocks: append([]int32(nil), p.blocks...),
+		words:  append([]uint64(nil), p.words...),
+	}
+	p.slots, p.blocks, p.words = p.slots[:0], p.blocks[:0], p.words[:0]
+	c.totalSent.Add(1)
+	c.inflight.Add(1)
+	c.msgs.Add(int64(len(out.slots)))
+	c.batches.Add(1)
+	c.nodes[owner].inbox <- out
+}
+
+// applyLoop consumes a node's inbox: after the modeled network delay, it
+// stores each update into the local edge cache and re-activates the
+// affected block with the observed change as Gauss-Southwell mass.
+// inflight falls only after the activations are visible.
+func (c *clusterRun[V, M]) applyLoop(n *node[V, M]) {
+	words := c.cache.Words()
+	var old, incoming V
+	buf := make([]uint64, max(words, 2))
+	for b := range n.inbox {
+		if c.cfg.NetDelay > 0 {
+			if wait := time.Until(b.sentAt.Add(c.cfg.NetDelay)); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		for i, slot := range b.slots {
+			c.cache.LoadBuf(slot, &old, buf)
+			c.prog.Codec().DecodeInto(b.words[i*words:(i+1)*words], &incoming)
+			c.cache.StoreBuf(slot, incoming, buf)
+			if d := c.prog.Delta(old, incoming); d > c.cfg.Epsilon {
+				n.st.Activate(int(b.blocks[i]), d)
+			}
+		}
+		c.inflight.Add(-1)
+	}
+}
+
+// coordinate is the cluster's termination unit. It stops the run when the
+// epoch budget is exhausted or when distributed quiescence is certain.
+func (c *clusterRun[V, M]) coordinate() {
+	for {
+		if c.stopping.Load() {
+			return
+		}
+		if c.vertices.Load() >= c.budget {
+			c.stopping.Store(true)
+			return
+		}
+		if c.checkQuiescence() {
+			c.converged.Store(true)
+			c.stopping.Store(true)
+			return
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// checkQuiescence implements the exact distributed termination test.
+//
+// Order of observation: (1) snapshot the monotone totalSent counter;
+// (2) require inflight == 0 — every batch ever sent has been applied, and
+// appliers raise the destination's active bit *before* decrementing
+// inflight, so all resulting activations are visible; (3) require every
+// node quiescent — any worker still processing holds its block in-flight
+// and would fail this; (4) require totalSent unchanged — no new batch was
+// sent while we looked (a sender's block stays in-flight until its
+// scatter completes, but this re-check closes the window between reading
+// a sender's state and its sends). If all four hold, no work exists
+// anywhere in the system.
+func (c *clusterRun[V, M]) checkQuiescence() bool {
+	s1 := c.totalSent.Load()
+	if c.inflight.Load() != 0 {
+		return false
+	}
+	for _, n := range c.nodes {
+		if !n.st.Quiescent() {
+			return false
+		}
+	}
+	return c.totalSent.Load() == s1
+}

@@ -1,0 +1,163 @@
+package core
+
+import "sync"
+
+// runBSP executes the Bulk Synchronous Processing baseline: block size
+// |V|, a full Jacobi sweep per iteration, and a global barrier between the
+// gather-apply and scatter phases of every sweep (Sec. II-A, the GraphMat
+// execution model). All vertices read the edge caches written at the end
+// of the previous sweep, so updates within a sweep never see each other.
+// It reports whether the run converged within the epoch budget.
+func (e *engine[V, M]) runBSP() bool {
+	n := e.g.NumVertices()
+	if n == 0 {
+		return true
+	}
+	budget := e.maxVertexUpdates()
+	deltas := make([]float64, n)
+	var dvals []V
+	if e.op != nil {
+		dvals = make([]V, n)
+	}
+	workers := e.cfg.NumPEs
+
+	// chunk v-ranges are fixed across sweeps: worker w owns [starts[w], starts[w+1]).
+	starts := make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		starts[w] = w * n / workers
+	}
+
+	epochsSeen := 0
+	for {
+		epochsSeen = e.fireEpochHook(epochsSeen)
+		if e.failed() || e.cnt.vertices.Load() >= budget {
+			return false
+		}
+		e.stall("schedule")
+
+		// Phase 1: gather-apply every vertex against the previous sweep's
+		// edge caches.
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				e.stall("gather")
+				ws := newScratch(e.prog)
+				vlo, vhi := starts[w], starts[w+1]
+				if vlo == vhi {
+					return
+				}
+				clo, chi := e.g.InOffset(vlo), e.g.InOffset(vhi)
+				_, weights, release, err := e.edges.Block(vlo, vhi, clo, chi)
+				if err != nil {
+					e.fail(err)
+					return
+				}
+				defer release()
+				var edges int64
+				for v := vlo; v < vhi; v++ {
+					e.values.LoadBuf(int64(v), &ws.old, ws.buf)
+					e.prog.ResetAccum(&ws.acc)
+					slo, shi := e.g.InOffset(v), e.g.InOffset(v+1)
+					for s := slo; s < shi; s++ {
+						if e.op != nil {
+							e.cache.SwapValue(s, e.op.ZeroDelta(), ws.buf, &ws.src)
+						} else {
+							e.cache.LoadBuf(s, &ws.src, ws.buf)
+						}
+						e.prog.EdgeGather(&ws.acc, ws.old, weights[s-clo], ws.src)
+					}
+					edges += shi - slo
+					newVal := e.prog.Apply(uint32(v), ws.old, &ws.acc, shi-slo, e.g)
+					if e.prog.Delta(ws.old, newVal) == 0 {
+						deltas[v] = 0
+						continue
+					}
+					if e.op != nil {
+						dvals[v] = e.op.OutDelta(uint32(v), ws.old, newVal, e.g)
+						deltas[v] = e.prog.Delta(ws.old, newVal)
+					} else {
+						// Scatter-image delta, as in the async engine.
+						deltas[v] = e.prog.Delta(
+							e.prog.ScatterValue(uint32(v), ws.old, e.g),
+							e.prog.ScatterValue(uint32(v), newVal, e.g))
+					}
+					e.values.StoreBuf(int64(v), newVal, ws.buf)
+				}
+				e.cnt.vertices.Add(int64(starts[w+1] - starts[w]))
+				e.cnt.edges.Add(edges)
+				if sim := e.cfg.Sim; sim != nil {
+					sim.LeastLoadedPE().RunBlock(edges, edges*e.edgeBytes,
+						int64(starts[w+1]-starts[w])*e.valueBytes)
+				}
+			}(w)
+		}
+		wg.Wait() // global memory barrier #1
+		e.cnt.blocks.Add(1)
+		if sim := e.cfg.Sim; sim != nil {
+			sim.Barrier()
+		}
+
+		// Phase 2: commit all updates to the edge caches at once.
+		anyActive := false
+		var mu sync.Mutex
+		scatterWorkers := e.cfg.NumScatter
+		sstarts := make([]int, scatterWorkers+1)
+		for w := 0; w <= scatterWorkers; w++ {
+			sstarts[w] = w * n / scatterWorkers
+		}
+		for w := 0; w < scatterWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				e.stall("scatter")
+				ws := newScratch(e.prog)
+				var writes int64
+				active := false
+				for v := sstarts[w]; v < sstarts[w+1]; v++ {
+					d := deltas[v]
+					if d <= e.cfg.Epsilon && (e.op == nil || d == 0) {
+						continue
+					}
+					if d > e.cfg.Epsilon {
+						active = true
+					}
+					if e.op != nil {
+						dval := dvals[v]
+						for i := e.g.OutOffset(v); i < e.g.OutOffset(v+1); i++ {
+							e.cache.RMW(e.g.OutPos(i), ws.buf, &ws.val, func(cur V) V {
+								return e.op.AccumulateDelta(cur, dval)
+							})
+							writes++
+						}
+						continue
+					}
+					e.values.LoadBuf(int64(v), &ws.val, ws.buf)
+					sval := e.prog.ScatterValue(uint32(v), ws.val, e.g)
+					for i := e.g.OutOffset(v); i < e.g.OutOffset(v+1); i++ {
+						e.cache.StoreBuf(e.g.OutPos(i), sval, ws.buf)
+						writes++
+					}
+				}
+				e.cnt.scatter.Add(writes)
+				if sim := e.cfg.Sim; sim != nil && writes > 0 {
+					sim.LeastLoadedCPU().RunScatter(writes, writes*e.valueBytes)
+				}
+				if active {
+					mu.Lock()
+					anyActive = true
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait() // global memory barrier #2
+		if sim := e.cfg.Sim; sim != nil {
+			sim.Barrier()
+		}
+
+		if !anyActive {
+			return true
+		}
+	}
+}

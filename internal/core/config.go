@@ -1,0 +1,144 @@
+// Package core implements GraphABCD's execution engines (Sec. IV): the
+// asynchronous barrierless engine that is the paper's contribution, plus
+// the Barrier and BSP baselines its Fig. 7 ablation compares against.
+//
+// The async engine mirrors the 11-step flow of Sec. IV-C: a scheduler
+// selects vertex blocks from the active list (cyclic or Gauss-Southwell
+// priority) and pushes them into the accelerator task queue; PE workers
+// dequeue blocks, stream the block's in-edge cache sequentially through
+// the program's GATHER-APPLY, and write the new vertex values; finished
+// block ids flow through the CPU task queue to SCATTER workers, which copy
+// updated values onto out-edge cache slots (random but disjoint writes),
+// accumulate Gauss-Southwell mass onto destination blocks, and update the
+// active list. The only shared mutable state is atomic words — no locks,
+// no barriers — and the termination unit's quiescence test covers blocks
+// active, claimed, and in flight.
+package core
+
+import (
+	"fmt"
+
+	"graphabcd/internal/accel"
+	"graphabcd/internal/edgestore"
+	"graphabcd/internal/sched"
+)
+
+// Mode selects the execution model.
+type Mode int
+
+const (
+	// Async is the barrierless, lock-free engine (the paper's design).
+	Async Mode = iota
+	// Barrier adds a memory barrier after each wave of block processing
+	// (the 'Barrier' baseline of Fig. 7): blocks are dispatched in rounds
+	// and the next round starts only when the previous fully completes.
+	Barrier
+	// BSP is bulk-synchronous processing with block size |V| (Jacobi):
+	// one global barrier per sweep, the GraphMat execution model.
+	BSP
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Async:
+		return "async"
+	case Barrier:
+		return "barrier"
+	case BSP:
+		return "bsp"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config parameterizes one engine run. The zero value is not runnable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// BlockSize is the BCD block size n (vertices per block). Ignored in
+	// BSP mode, which always uses |V|.
+	BlockSize int
+	// Mode selects async / barrier / BSP execution.
+	Mode Mode
+	// Policy selects the block scheduling rule (cyclic / priority /
+	// random). BSP ignores it.
+	Policy sched.Policy
+	// NumPEs is the number of GATHER-APPLY workers (accelerator PEs).
+	NumPEs int
+	// NumScatter is the number of CPU SCATTER workers.
+	NumScatter int
+	// Hybrid lets SCATTER workers steal GATHER-APPLY tasks when the CPU
+	// side is under-utilized (Sec. IV-B hybrid execution).
+	Hybrid bool
+	// Epsilon is the activation threshold: a vertex whose update delta is
+	// <= Epsilon neither scatters nor activates destination blocks.
+	Epsilon float64
+	// MaxEpochs bounds the work at MaxEpochs * |V| vertex updates; 0
+	// means no bound (run to convergence). Non-convergent workloads such
+	// as CF must set it.
+	MaxEpochs float64
+	// Seed feeds the random scheduler policy.
+	Seed uint64
+	// QueueDepth overrides the task-queue capacity (per queue). The
+	// default 0 means 2x the consuming worker count. The depth is the
+	// engine's staleness bound — the number of block-slots a gather may
+	// run ahead of the scatter publishing fresh values; deep queues
+	// degrade the engine toward Jacobi convergence (see the staleness
+	// ablation in internal/exp).
+	QueueDepth int
+	// Sim, when non-nil, drives the accelerator cost model alongside the
+	// real computation (simulated time, PE/bus utilization, traffic).
+	Sim *accel.Simulator
+	// Edges, when non-nil, overrides where the static edge structure
+	// (weights, and source ids during initialization) is streamed from:
+	// edgestore.OpenFile for out-of-core execution, edgestore.
+	// OpenCompressed for the compact representation of Sec. VI-C. The
+	// default streams zero-copy from the in-memory graph. The pull-push
+	// layout makes every block's edges one contiguous range, so each
+	// block task costs one sequential read regardless of backend.
+	Edges edgestore.Source
+	// StallHook, when non-nil, is invoked by every worker at each stage
+	// boundary with the stage name ("gather", "scatter", "schedule").
+	// It exists for failure-injection tests (randomized delays must not
+	// affect convergence) and must be safe for concurrent use.
+	StallHook func(stage string)
+	// OnEpoch, when non-nil, is invoked by the scheduler each time the
+	// cumulative vertex updates cross another |V| (one epoch-equivalent),
+	// with the epoch count completed so far. Useful for recording
+	// convergence curves from a single run. Called from the scheduler
+	// goroutine; keep it fast.
+	OnEpoch func(epoch int)
+}
+
+// DefaultConfig returns an async cyclic configuration with the given block
+// size and worker counts sized for the host.
+func DefaultConfig(blockSize int) Config {
+	return Config{
+		BlockSize:  blockSize,
+		Mode:       Async,
+		Policy:     sched.Cyclic,
+		NumPEs:     4,
+		NumScatter: 2,
+		Epsilon:    1e-9,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.BlockSize < 0:
+		return fmt.Errorf("core: negative block size %d", c.BlockSize)
+	case c.NumPEs <= 0:
+		return fmt.Errorf("core: NumPEs must be positive, got %d", c.NumPEs)
+	case c.NumScatter <= 0:
+		return fmt.Errorf("core: NumScatter must be positive, got %d", c.NumScatter)
+	case c.Epsilon < 0:
+		return fmt.Errorf("core: negative epsilon %g", c.Epsilon)
+	case c.MaxEpochs < 0:
+		return fmt.Errorf("core: negative MaxEpochs %g", c.MaxEpochs)
+	case c.QueueDepth < 0:
+		return fmt.Errorf("core: negative QueueDepth %d", c.QueueDepth)
+	case c.Mode != Async && c.Mode != Barrier && c.Mode != BSP:
+		return fmt.Errorf("core: unknown mode %v", c.Mode)
+	}
+	return nil
+}

@@ -1,0 +1,617 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/edgestore"
+	"graphabcd/internal/graph"
+	"graphabcd/internal/sched"
+	"graphabcd/internal/word"
+)
+
+// Run executes prog over g under cfg and returns the final vertex values
+// with run statistics. Type parameters follow the program's (V, M); Go
+// cannot infer them from a concrete program type, so callers instantiate
+// explicitly, e.g. core.Run[float64, float64](g, bcd.PageRank{}, cfg).
+func Run[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*Result[V], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEngine(g, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var converged bool
+	if cfg.Mode == BSP {
+		converged = e.runBSP()
+	} else {
+		converged = e.runBlocked()
+	}
+	if errp := e.failure.Load(); errp != nil {
+		return nil, *errp
+	}
+	return e.result(converged, time.Since(start)), nil
+}
+
+// engine holds the shared state of one run.
+type engine[V, M any] struct {
+	g    *graph.Graph
+	prog bcd.Program[V, M]
+	// op is non-nil when prog is operation-based (bcd.OpBased): edge
+	// slots then hold pending deltas that SCATTER accumulates with atomic
+	// read-modify-writes and GATHER consumes with atomic swaps.
+	op   bcd.OpBased[V, M]
+	cfg  Config
+	part *graph.Partition
+
+	values *word.Array[V] // vertex values, |V| entries
+	cache  *word.Array[V] // cached source values per in-edge slot, |E| entries
+
+	st    *sched.State
+	cnt   counters
+	edges edgestore.Source
+	// failure holds the first edge-source error; the scheduler aborts the
+	// run when it is set and Run returns it.
+	failure atomic.Pointer[error]
+
+	deltaPool sync.Pool // *[]float64 buffers of block size
+	dvalPool  sync.Pool // *[]V out-delta buffers (operation-based mode)
+
+	// modeled byte widths for the accelerator cost model
+	valueBytes int64 // encoded vertex value width
+	edgeBytes  int64 // streamed per-edge payload: weight + cached value
+}
+
+func newEngine[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*engine[V, M], error) {
+	blockSize := cfg.BlockSize
+	if cfg.Mode == BSP {
+		blockSize = g.NumVertices() // full-gradient Jacobi
+	}
+	part, err := graph.NewPartition(g, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Sim != nil {
+		sc := cfg.Sim.Config()
+		if cfg.NumPEs > sc.NumPEs {
+			return nil, fmt.Errorf("core: NumPEs %d exceeds simulator's %d", cfg.NumPEs, sc.NumPEs)
+		}
+		if cfg.NumScatter > sc.CPUThreads {
+			return nil, fmt.Errorf("core: NumScatter %d exceeds simulator's %d CPU threads", cfg.NumScatter, sc.CPUThreads)
+		}
+	}
+	codec := prog.Codec()
+	e := &engine[V, M]{
+		g:          g,
+		prog:       prog,
+		cfg:        cfg,
+		part:       part,
+		values:     word.NewArray(codec, g.NumVertices()),
+		cache:      word.NewArray(codec, g.NumEdges()),
+		st:         sched.NewState(part.NumBlocks()),
+		valueBytes: int64(codec.Words()) * 8,
+		edgeBytes:  int64(codec.Words())*8 + 4,
+	}
+	if op, ok := prog.(bcd.OpBased[V, M]); ok {
+		if codec.Words() != 1 {
+			return nil, fmt.Errorf("core: operation-based program %q needs a single-word codec (got %d words)",
+				prog.Name(), codec.Words())
+		}
+		e.op = op
+	}
+	e.edges = cfg.Edges
+	if e.edges == nil {
+		e.edges = edgestore.InMemory(g)
+	}
+	e.deltaPool.New = func() any {
+		buf := make([]float64, part.BlockSize())
+		return &buf
+	}
+	e.dvalPool.New = func() any {
+		buf := make([]V, part.BlockSize())
+		return &buf
+	}
+	e.initArrays()
+	return e, nil
+}
+
+// initArrays populates vertex values and edge caches in parallel.
+func (e *engine[V, M]) initArrays() {
+	n := e.g.NumVertices()
+	workers := e.cfg.NumPEs + e.cfg.NumScatter
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vlo, vhi := w*n/workers, (w+1)*n/workers
+			if vlo == vhi {
+				return
+			}
+			slo, shi := e.g.InOffset(vlo), e.g.InOffset(vhi)
+			srcs, _, release, err := e.edges.Block(vlo, vhi, slo, shi)
+			if err != nil {
+				e.fail(err)
+				return
+			}
+			defer release()
+			buf := make([]uint64, e.values.Words())
+			for v := vlo; v < vhi; v++ {
+				e.values.StoreBuf(int64(v), e.prog.Init(uint32(v), e.g), buf)
+				for s := e.g.InOffset(v); s < e.g.InOffset(v+1); s++ {
+					e.cache.StoreBuf(s, e.prog.InitEdge(srcs[s-slo], e.g), buf)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// maxVertexUpdates translates MaxEpochs into a vertex-update budget.
+func (e *engine[V, M]) maxVertexUpdates() int64 {
+	if e.cfg.MaxEpochs == 0 {
+		return math.MaxInt64
+	}
+	return int64(e.cfg.MaxEpochs * float64(e.g.NumVertices()))
+}
+
+func (e *engine[V, M]) stall(stage string) {
+	if e.cfg.StallHook != nil {
+		e.cfg.StallHook(stage)
+	}
+}
+
+// fail records the first edge-source error; the scheduler aborts the run.
+func (e *engine[V, M]) fail(err error) {
+	e.failure.CompareAndSwap(nil, &err)
+}
+
+func (e *engine[V, M]) failed() bool { return e.failure.Load() != nil }
+
+// task carries one processed block from GATHER-APPLY to SCATTER.
+type task struct {
+	block  int
+	deltas *[]float64 // per-vertex update magnitudes, pooled
+	dvals  any        // *[]V per-vertex out-deltas (operation-based only)
+}
+
+// runBlocked executes Async and Barrier modes. It reports whether the run
+// converged (as opposed to hitting the MaxEpochs budget).
+func (e *engine[V, M]) runBlocked() bool {
+	nb := e.part.NumBlocks()
+	e.st.ActivateAll(1)
+	scheduler, err := sched.New(e.cfg.Policy, e.st, e.cfg.Seed)
+	if err != nil {
+		// Config.Validate accepts any Policy; unknown policies surface here.
+		panic(err)
+	}
+
+	// The task queues are small FIFOs, as on the HARPv2 prototype. Their
+	// depth is the engine's staleness bound: a gather can run at most
+	// ~2xNumPEs block-slots ahead of the scatter that publishes fresh
+	// values, which keeps the asynchronous execution inside the bounded
+	// delay that asynchronous BCD's convergence guarantee requires
+	// (Sec. III-D) and preserves the Gauss-Seidel freshness that makes
+	// small blocks converge faster (Sec. III-C). Deep queues would let
+	// the gather pipeline race arbitrarily far ahead of scatter and
+	// degenerate the engine toward Jacobi.
+	qcap := func(workers int) int {
+		c := e.cfg.QueueDepth
+		if c == 0 {
+			c = 2 * workers
+		}
+		if c > nb {
+			c = nb
+		}
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	accelQ := make(chan int, qcap(e.cfg.NumPEs))
+	cpuQ := make(chan task, qcap(e.cfg.NumScatter))
+
+	var peWG, scatWG sync.WaitGroup
+	for i := 0; i < e.cfg.NumPEs; i++ {
+		peWG.Add(1)
+		go func(i int) {
+			defer peWG.Done()
+			e.peWorker(i, accelQ, cpuQ)
+		}(i)
+	}
+	hybridQ := accelQ
+	if !e.cfg.Hybrid {
+		hybridQ = nil
+	}
+	for j := 0; j < e.cfg.NumScatter; j++ {
+		scatWG.Add(1)
+		go func(j int) {
+			defer scatWG.Done()
+			e.scatterWorker(j, cpuQ, hybridQ)
+		}(j)
+	}
+
+	converged := e.schedule(scheduler, accelQ)
+
+	close(accelQ)
+	peWG.Wait()
+	close(cpuQ)
+	scatWG.Wait()
+	return converged
+}
+
+// schedule is the termination unit plus scheduler of the Sec. IV-C flow
+// (steps 1-2): it selects blocks until the active list drains (converged)
+// or the epoch budget is exhausted.
+func (e *engine[V, M]) schedule(s sched.Scheduler, accelQ chan<- int) bool {
+	if e.cfg.Mode == Barrier {
+		return e.scheduleBarrier(s, accelQ)
+	}
+	budget := e.maxVertexUpdates()
+	spins := 0
+	epochsSeen := 0
+	for {
+		e.stall("schedule")
+		epochsSeen = e.fireEpochHook(epochsSeen)
+		if e.failed() || e.cnt.vertices.Load() >= budget {
+			return false
+		}
+		if e.st.Quiescent() {
+			return true
+		}
+		b, ok := s.Next()
+		if !ok {
+			// Nothing claimable: blocks are in flight. Yield and re-poll.
+			idle(&spins)
+			continue
+		}
+		spins = 0
+		e.cnt.issued.Add(1)
+		accelQ <- b
+	}
+}
+
+// fireEpochHook invokes OnEpoch for every freshly completed
+// epoch-equivalent and returns the updated count.
+func (e *engine[V, M]) fireEpochHook(seen int) int {
+	if e.cfg.OnEpoch == nil {
+		return seen
+	}
+	n := int64(e.g.NumVertices())
+	if n == 0 {
+		return seen
+	}
+	for done := int(e.cnt.vertices.Load() / n); seen < done; {
+		seen++
+		e.cfg.OnEpoch(seen)
+	}
+	return seen
+}
+
+// scheduleBarrier is the 'Barrier' baseline of Fig. 7: blocks are
+// dispatched in waves and a memory barrier (full drain of the gather-
+// apply-scatter chain) separates consecutive waves. Convergence behaviour
+// matches Async — the same blocks run with the same update rule — but PEs
+// idle at every wave tail.
+func (e *engine[V, M]) scheduleBarrier(s sched.Scheduler, accelQ chan<- int) bool {
+	budget := e.maxVertexUpdates()
+	spins := 0
+	epochsSeen := 0
+	for {
+		e.stall("schedule")
+		epochsSeen = e.fireEpochHook(epochsSeen)
+		if e.failed() || e.cnt.vertices.Load() >= budget {
+			return false
+		}
+		if e.st.Quiescent() {
+			return true
+		}
+		// Snapshot the active set: one wave is the blocks claimable *now*.
+		// Blocks activated while the wave runs wait for the next wave —
+		// that is what distinguishes synchronized execution from the
+		// async engine, where they would be dispatched immediately.
+		wave := 0
+		for b := 0; b < e.part.NumBlocks(); b++ {
+			if e.st.Active(b) && !e.st.InFlight(b) && e.st.Claim(b) {
+				e.cnt.issued.Add(1)
+				accelQ <- b
+				wave++
+			}
+		}
+		if wave == 0 {
+			idle(&spins)
+			continue
+		}
+		spins = 0
+		e.awaitDrain()
+		if e.cfg.Sim != nil {
+			e.cfg.Sim.Barrier() // model the wave barrier's idle time
+		}
+	}
+}
+
+// awaitDrain blocks until every issued task has completed its scatter.
+func (e *engine[V, M]) awaitDrain() {
+	spins := 0
+	for e.cnt.finished.Load() < e.cnt.issued.Load() {
+		idle(&spins)
+	}
+}
+
+// idle backs off a polling loop: first yields, then sleeps briefly.
+func idle(spins *int) {
+	*spins++
+	if *spins < 64 {
+		runtime.Gosched()
+	} else {
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+// peWorker is one accelerator PE (steps 3-7): dequeue block, gather-apply,
+// hand off to the CPU task queue.
+func (e *engine[V, M]) peWorker(i int, accelQ <-chan int, cpuQ chan<- task) {
+	ws := newScratch(e.prog)
+	for b := range accelQ {
+		e.stall("gather")
+		t, edges := e.gatherApply(b, ws)
+		if sim := e.cfg.Sim; sim != nil {
+			lo, hi := e.part.VertexRange(b)
+			sim.LeastLoadedPE().RunBlock(edges, edges*e.edgeBytes, int64(hi-lo)*e.valueBytes)
+		}
+		cpuQ <- t
+	}
+}
+
+// scatterWorker is one CPU thread (steps 8-11). With hybrid execution it
+// also steals gather-apply tasks from the accelerator queue when no
+// scatter work is pending (Sec. IV-B).
+func (e *engine[V, M]) scatterWorker(j int, cpuQ <-chan task, hybridQ <-chan int) {
+	ws := newScratch(e.prog)
+	mass := make([]float64, e.part.NumBlocks())
+	touched := make([]int, 0, 64)
+	runHybrid := func(b int, ok bool) bool {
+		if !ok {
+			return false
+		}
+		e.stall("gather")
+		t, edges := e.gatherApply(b, ws)
+		if sim := e.cfg.Sim; sim != nil {
+			sim.LeastLoadedCPU().RunGather(edges, edges*e.edgeBytes)
+		}
+		e.cnt.hybrid.Add(1)
+		e.scatter(j, t, ws, mass, &touched)
+		return true
+	}
+	for {
+		// Scatter work first: it retires in-flight blocks and produces
+		// the activations every other stage feeds on.
+		select {
+		case t, ok := <-cpuQ:
+			if !ok {
+				return
+			}
+			e.scatter(j, t, ws, mass, &touched)
+			continue
+		default:
+		}
+		hq := hybridQ
+		if hq != nil && e.cfg.Sim != nil && !e.cfg.Sim.CPUHasSlack() {
+			// Under the platform model, steal gather work only while the
+			// host workers' modeled clocks trail the PEs' — the paper's
+			// "runtime detects the CPU is under-utilized" condition
+			// (Sec. IV-B). A host gather costs ~CPUGatherNsPerEdge per
+			// edge, far more than the streaming PE path, so unconditional
+			// stealing would slow the modeled system down.
+			hq = nil
+		}
+		select {
+		case t, ok := <-cpuQ:
+			if !ok {
+				return
+			}
+			e.scatter(j, t, ws, mass, &touched)
+		case b, ok := <-hq:
+			if !runHybrid(b, ok) {
+				hybridQ = nil // accelerator queue closed; drain cpuQ only
+			}
+		}
+	}
+}
+
+// workerScratch holds per-worker reusable buffers so hot loops do not
+// allocate.
+type workerScratch[V, M any] struct {
+	acc      M
+	old, src V
+	val      V
+	buf      []uint64 // word-array transfer buffer
+}
+
+func newScratch[V, M any](prog bcd.Program[V, M]) *workerScratch[V, M] {
+	words := prog.Codec().Words()
+	if words < 2 {
+		words = 2 // word.Array.RMW needs two transfer slots
+	}
+	return &workerScratch[V, M]{
+		acc: prog.NewAccum(),
+		buf: make([]uint64, words),
+	}
+}
+
+// gatherApply processes block b (steps 4-6): stream the block's in-edge
+// cache sequentially, run GATHER-APPLY per vertex, store new values, and
+// record per-vertex deltas for the scatter stage.
+func (e *engine[V, M]) gatherApply(b int, ws *workerScratch[V, M]) (task, int64) {
+	lo, hi := e.part.VertexRange(b)
+	deltasPtr := e.deltaPool.Get().(*[]float64)
+	deltas := (*deltasPtr)[:hi-lo]
+	var dvalsPtr *[]V
+	var dvals []V
+	if e.op != nil {
+		dvalsPtr = e.dvalPool.Get().(*[]V)
+		dvals = (*dvalsPtr)[:hi-lo]
+	}
+	// Stream the block's static edge range from the configured source —
+	// one contiguous read per block task, by the pull-push layout.
+	blo, bhi := e.part.EdgeRange(b)
+	_, weights, release, err := e.edges.Block(lo, hi, blo, bhi)
+	if err != nil {
+		e.fail(err)
+		for i := range deltas {
+			deltas[i] = 0
+		}
+		t := task{block: b, deltas: deltasPtr}
+		if dvalsPtr != nil {
+			t.dvals = dvalsPtr
+		}
+		return t, 0
+	}
+	defer release()
+	var edges int64
+	for v := lo; v < hi; v++ {
+		e.values.LoadBuf(int64(v), &ws.old, ws.buf)
+		e.prog.ResetAccum(&ws.acc)
+		slo, shi := e.g.InOffset(v), e.g.InOffset(v+1)
+		for s := slo; s < shi; s++ {
+			if e.op != nil {
+				// Consume the pending delta: swap the slot to the zero
+				// delta so concurrent scatters can keep accumulating.
+				e.cache.SwapValue(s, e.op.ZeroDelta(), ws.buf, &ws.src)
+			} else {
+				e.cache.LoadBuf(s, &ws.src, ws.buf)
+			}
+			e.prog.EdgeGather(&ws.acc, ws.old, weights[s-blo], ws.src)
+		}
+		n := shi - slo
+		edges += n
+		newVal := e.prog.Apply(uint32(v), ws.old, &ws.acc, n, e.g)
+		if e.prog.Delta(ws.old, newVal) == 0 {
+			deltas[v-lo] = 0
+			continue
+		}
+		if e.op != nil {
+			dvals[v-lo] = e.op.OutDelta(uint32(v), ws.old, newVal, e.g)
+			deltas[v-lo] = e.prog.Delta(ws.old, newVal)
+		} else {
+			// The gradient mass driving activation and Gauss-Southwell
+			// priority is the change of the *scatter image* — the value
+			// that will actually be written onto out-edges. For PageRank
+			// that is delta/outdeg: using the raw vertex delta would
+			// overweight hub sources by their out-degree and misguide
+			// the priority rule.
+			deltas[v-lo] = e.prog.Delta(
+				e.prog.ScatterValue(uint32(v), ws.old, e.g),
+				e.prog.ScatterValue(uint32(v), newVal, e.g))
+		}
+		e.values.StoreBuf(int64(v), newVal, ws.buf)
+	}
+	e.cnt.blocks.Add(1)
+	e.cnt.vertices.Add(int64(hi - lo))
+	e.cnt.edges.Add(edges)
+	t := task{block: b, deltas: deltasPtr}
+	if dvalsPtr != nil {
+		t.dvals = dvalsPtr // avoid wrapping a typed nil in the interface
+	}
+	return t, edges
+}
+
+// scatter processes one finished block (steps 9-11): state-based updates
+// are copied onto out-edge cache slots, Gauss-Southwell mass accumulates
+// onto destination blocks, and the active list is updated. Marking the
+// block done last keeps the termination unit's quiescence test sound.
+func (e *engine[V, M]) scatter(j int, t task, ws *workerScratch[V, M], mass []float64, touched *[]int) {
+	e.stall("scatter")
+	lo, hi := e.part.VertexRange(t.block)
+	deltas := (*t.deltas)[:hi-lo]
+	var dvals []V
+	if t.dvals != nil {
+		dvals = (*t.dvals.(*[]V))[:hi-lo]
+	}
+	var writes int64
+	for v := lo; v < hi; v++ {
+		d := deltas[v-lo]
+		// State-based updates are self-healing, so sub-epsilon changes
+		// can be dropped entirely. Operation-based deltas are mass that
+		// would leak if dropped: scatter every nonzero change and use
+		// epsilon only to gate activation below.
+		if d <= e.cfg.Epsilon && (e.op == nil || d == 0) {
+			continue
+		}
+		if e.op != nil {
+			dval := dvals[v-lo]
+			for i := e.g.OutOffset(v); i < e.g.OutOffset(v+1); i++ {
+				e.cache.RMW(e.g.OutPos(i), ws.buf, &ws.val, func(cur V) V {
+					return e.op.AccumulateDelta(cur, dval)
+				})
+				writes++
+			}
+		} else {
+			e.values.LoadBuf(int64(v), &ws.val, ws.buf)
+			sval := e.prog.ScatterValue(uint32(v), ws.val, e.g)
+			for i := e.g.OutOffset(v); i < e.g.OutOffset(v+1); i++ {
+				e.cache.StoreBuf(e.g.OutPos(i), sval, ws.buf)
+				writes++
+			}
+		}
+		if d <= e.cfg.Epsilon {
+			continue // scattered, but not worth re-activating anyone
+		}
+		for i := e.g.OutOffset(v); i < e.g.OutOffset(v+1); i++ {
+			tb := e.part.BlockOf(e.g.OutDst(i))
+			if mass[tb] == 0 {
+				*touched = append(*touched, tb)
+			}
+			mass[tb] += d
+		}
+	}
+	// Step 11: update the destination blocks' active-list entries and
+	// their pending gradient mass (the Sec. IV-B priority estimate).
+	for _, tb := range *touched {
+		e.st.Activate(tb, mass[tb])
+		mass[tb] = 0
+	}
+	*touched = (*touched)[:0]
+	e.cnt.scatter.Add(writes)
+	if sim := e.cfg.Sim; sim != nil && writes > 0 {
+		sim.LeastLoadedCPU().RunScatter(writes, writes*e.valueBytes)
+	}
+	e.deltaPool.Put(t.deltas)
+	if t.dvals != nil {
+		e.dvalPool.Put(t.dvals.(*[]V))
+	}
+	e.st.Done(t.block)
+	e.cnt.finished.Add(1)
+}
+
+// result decodes the final values and assembles statistics.
+func (e *engine[V, M]) result(converged bool, wall time.Duration) *Result[V] {
+	n := e.g.NumVertices()
+	vals := make([]V, n)
+	for v := 0; v < n; v++ {
+		e.values.Load(int64(v), &vals[v])
+	}
+	st := Stats{
+		BlockUpdates:   e.cnt.blocks.Load(),
+		VertexUpdates:  e.cnt.vertices.Load(),
+		EdgesTraversed: e.cnt.edges.Load(),
+		ScatterWrites:  e.cnt.scatter.Load(),
+		HybridBlocks:   e.cnt.hybrid.Load(),
+		Converged:      converged,
+		WallTime:       wall,
+	}
+	if n > 0 {
+		st.Epochs = float64(st.VertexUpdates) / float64(n)
+	}
+	if e.cfg.Sim != nil {
+		st.SimTimeNs = e.cfg.Sim.SimTimeNs()
+	}
+	return &Result[V]{Values: vals, Stats: st}
+}

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"graphabcd/internal/accel"
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/gen"
+	"graphabcd/internal/graph"
+	"graphabcd/internal/sched"
+)
+
+// testGraph returns a deterministic skewed graph small enough for -race.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(9, 6, 77)) // 512 vertices, 3072 edges
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func weightedGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	cfg := gen.DefaultRMAT(9, 6, 78)
+	cfg.MaxWeight = 16
+	g, err := gen.RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func runPR(t *testing.T, g *graph.Graph, cfg Config) *Result[float64] {
+	t.Helper()
+	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m && !(math.IsInf(a[i], 1) && math.IsInf(b[i], 1)) {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(64).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{BlockSize: -1, NumPEs: 1, NumScatter: 1},
+		{NumPEs: 0, NumScatter: 1},
+		{NumPEs: 1, NumScatter: 0},
+		{NumPEs: 1, NumScatter: 1, Epsilon: -1},
+		{NumPEs: 1, NumScatter: 1, MaxEpochs: -2},
+		{NumPEs: 1, NumScatter: 1, Mode: Mode(9)},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+		if _, err := Run[float64, float64](testGraph(t), bcd.PageRank{}, cfg); err == nil {
+			t.Errorf("config %d: Run accepted invalid config", i)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Async.String() != "async" || Barrier.String() != "barrier" || BSP.String() != "bsp" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(7).String() != "mode(7)" {
+		t.Fatal("unknown mode name wrong")
+	}
+}
+
+func TestPageRankMatchesReferenceAcrossConfigs(t *testing.T) {
+	g := testGraph(t)
+	want := bcd.RefPageRank(g, 0.85, 1e-13, 1000)
+	cases := []Config{
+		{BlockSize: 64, Mode: Async, Policy: sched.Cyclic, NumPEs: 4, NumScatter: 2, Epsilon: 1e-12},
+		{BlockSize: 64, Mode: Async, Policy: sched.Priority, NumPEs: 4, NumScatter: 2, Epsilon: 1e-12},
+		{BlockSize: 64, Mode: Async, Policy: sched.Random, NumPEs: 4, NumScatter: 2, Epsilon: 1e-12, Seed: 5},
+		{BlockSize: 8, Mode: Async, Policy: sched.Priority, NumPEs: 2, NumScatter: 1, Epsilon: 1e-12},
+		{BlockSize: 512, Mode: Async, Policy: sched.Cyclic, NumPEs: 1, NumScatter: 1, Epsilon: 1e-12},
+		{BlockSize: 64, Mode: Async, Policy: sched.Cyclic, NumPEs: 4, NumScatter: 2, Epsilon: 1e-12, Hybrid: true},
+		{BlockSize: 64, Mode: Barrier, Policy: sched.Cyclic, NumPEs: 4, NumScatter: 2, Epsilon: 1e-12},
+		{BlockSize: 0, Mode: BSP, NumPEs: 4, NumScatter: 2, Epsilon: 1e-12},
+	}
+	for _, cfg := range cases {
+		cfg := cfg
+		name := cfg.Mode.String() + "/" + cfg.Policy.String()
+		if cfg.Hybrid {
+			name += "/hybrid"
+		}
+		t.Run(name, func(t *testing.T) {
+			res := runPR(t, g, cfg)
+			if !res.Stats.Converged {
+				t.Fatal("did not converge")
+			}
+			if d := maxAbsDiff(res.Values, want); d > 1e-7 {
+				t.Fatalf("max diff vs reference = %g", d)
+			}
+			if res.Stats.VertexUpdates == 0 || res.Stats.EdgesTraversed == 0 {
+				t.Fatal("stats empty")
+			}
+		})
+	}
+}
+
+func TestSSSPExactAcrossConfigs(t *testing.T) {
+	g := weightedGraph(t)
+	src := uint32(3)
+	want := bcd.RefSSSP(g, src)
+	for _, cfg := range []Config{
+		{BlockSize: 32, Mode: Async, Policy: sched.Cyclic, NumPEs: 4, NumScatter: 2},
+		{BlockSize: 32, Mode: Async, Policy: sched.Priority, NumPEs: 4, NumScatter: 2, Hybrid: true},
+		{BlockSize: 128, Mode: Barrier, Policy: sched.Cyclic, NumPEs: 2, NumScatter: 2},
+		{Mode: BSP, NumPEs: 4, NumScatter: 2},
+	} {
+		res, err := Run[float64, float64](g, bcd.SSSP{Source: src}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.Converged {
+			t.Fatalf("%v: did not converge", cfg.Mode)
+		}
+		for v := range want {
+			if res.Values[v] != want[v] && !(math.IsInf(res.Values[v], 1) && math.IsInf(want[v], 1)) {
+				t.Fatalf("%v/%v: dist[%d] = %g, want %g", cfg.Mode, cfg.Policy, v, res.Values[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBFSExact(t *testing.T) {
+	g := testGraph(t)
+	src := uint32(1)
+	want := bcd.RefBFS(g, src)
+	cfg := Config{BlockSize: 64, Mode: Async, Policy: sched.Priority, NumPEs: 4, NumScatter: 2}
+	res, err := Run[uint64, uint64](g, bcd.BFS{Source: src}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestCCExactOnSymmetricGraph(t *testing.T) {
+	// Build a symmetric version of an R-MAT graph plus isolated vertices.
+	base := testGraph(t)
+	var edges []graph.Edge
+	for _, e := range base.Edges() {
+		edges = append(edges,
+			graph.Edge{Src: e.Src, Dst: e.Dst, Weight: 1},
+			graph.Edge{Src: e.Dst, Dst: e.Src, Weight: 1})
+	}
+	g, err := graph.FromEdges(base.NumVertices()+8, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bcd.RefCC(g)
+	for _, mode := range []Mode{Async, BSP} {
+		cfg := Config{BlockSize: 32, Mode: mode, Policy: sched.Cyclic, NumPEs: 4, NumScatter: 2}
+		res, err := Run[uint64, uint64](g, bcd.CC{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if res.Values[v] != want[v] {
+				t.Fatalf("%v: label[%d] = %d, want %d", mode, v, res.Values[v], want[v])
+			}
+		}
+	}
+}
+
+func TestLabelPropTerminatesUnderBudget(t *testing.T) {
+	g := testGraph(t)
+	cfg := Config{BlockSize: 64, Mode: Async, Policy: sched.Cyclic, NumPEs: 4, NumScatter: 2, MaxEpochs: 20}
+	res, err := Run[uint64, bcd.LPAccum](g, bcd.LabelProp{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Epochs > 21 {
+		t.Fatalf("epochs = %g exceeded budget", res.Stats.Epochs)
+	}
+}
+
+func TestCFRMSEDecreases(t *testing.T) {
+	rg, err := gen.Rating(gen.DefaultRating(60, 30, 600, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := bcd.CF{Rank: 8, LearnRate: 0.3, Lambda: 0.01}
+	initRMSE := func() float64 {
+		x := make([][]float32, rg.Graph.NumVertices())
+		for v := range x {
+			x[v] = prog.Init(uint32(v), rg.Graph)
+		}
+		return prog.RMSE(rg.Graph, x)
+	}()
+	cfg := Config{BlockSize: 16, Mode: Async, Policy: sched.Cyclic, NumPEs: 4, NumScatter: 2, MaxEpochs: 40, Epsilon: 1e-9}
+	res, err := Run[[]float32, []float64](rg.Graph, prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := prog.RMSE(rg.Graph, res.Values)
+	if final >= initRMSE*0.6 {
+		t.Fatalf("RMSE %g -> %g: CF did not learn", initRMSE, final)
+	}
+}
+
+func TestMaxEpochsStopsNonConverged(t *testing.T) {
+	g := testGraph(t)
+	cfg := Config{BlockSize: 64, Mode: Async, Policy: sched.Cyclic, NumPEs: 2, NumScatter: 1,
+		Epsilon: 0, MaxEpochs: 2} // epsilon 0 keeps PR scattering tiny deltas ~forever
+	res := runPR(t, g, cfg)
+	if res.Stats.Converged {
+		t.Fatal("run must report non-convergence under a tight budget")
+	}
+	// Budget overshoot is bounded by in-flight blocks.
+	slack := float64(g.NumVertices()) * 0.5
+	if float64(res.Stats.VertexUpdates) > 2*float64(g.NumVertices())+slack*float64(cfg.NumPEs) {
+		t.Fatalf("vertex updates %d far exceeded budget", res.Stats.VertexUpdates)
+	}
+}
+
+func TestHybridExecutionProcessesBlocks(t *testing.T) {
+	g := testGraph(t)
+	cfg := Config{BlockSize: 16, Mode: Async, Policy: sched.Cyclic, NumPEs: 1, NumScatter: 4,
+		Epsilon: 1e-12, Hybrid: true}
+	res := runPR(t, g, cfg)
+	if res.Stats.HybridBlocks == 0 {
+		t.Fatal("hybrid run processed no blocks on CPU workers")
+	}
+	want := bcd.RefPageRank(g, 0.85, 1e-13, 1000)
+	if d := maxAbsDiff(res.Values, want); d > 1e-7 {
+		t.Fatalf("hybrid result off by %g", d)
+	}
+}
+
+func TestFailureInjectionRandomStalls(t *testing.T) {
+	// Randomized delays at every stage boundary must not affect the
+	// result (asynchronous BCD tolerates bounded staleness).
+	g := testGraph(t)
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(99))
+	cfg := Config{BlockSize: 32, Mode: Async, Policy: sched.Priority, NumPEs: 4, NumScatter: 2,
+		Epsilon: 1e-12,
+		StallHook: func(stage string) {
+			mu.Lock()
+			var d time.Duration
+			if rng.Intn(20) == 0 {
+				d = time.Duration(rng.Int63n(int64(200 * time.Microsecond)))
+			}
+			mu.Unlock()
+			if d > 0 {
+				time.Sleep(d)
+			}
+		},
+	}
+	res := runPR(t, g, cfg)
+	if !res.Stats.Converged {
+		t.Fatal("stalled run did not converge")
+	}
+	want := bcd.RefPageRank(g, 0.85, 1e-13, 1000)
+	if d := maxAbsDiff(res.Values, want); d > 1e-7 {
+		t.Fatalf("stalled result off by %g", d)
+	}
+}
+
+func TestSmallerBlocksConvergeInFewerEpochs(t *testing.T) {
+	// The Fig. 4 headline: small asynchronous blocks beat BSP on epochs.
+	g := testGraph(t)
+	bspRes := runPR(t, g, Config{Mode: BSP, NumPEs: 4, NumScatter: 2, Epsilon: 1e-10})
+	asyncRes := runPR(t, g, Config{BlockSize: 16, Mode: Async, Policy: sched.Priority,
+		NumPEs: 4, NumScatter: 2, Epsilon: 1e-10})
+	if !bspRes.Stats.Converged || !asyncRes.Stats.Converged {
+		t.Fatal("runs did not converge")
+	}
+	if asyncRes.Stats.Epochs >= bspRes.Stats.Epochs {
+		t.Fatalf("async/priority epochs %.2f should beat BSP %.2f",
+			asyncRes.Stats.Epochs, bspRes.Stats.Epochs)
+	}
+}
+
+func TestSimulatorAccounting(t *testing.T) {
+	g := testGraph(t)
+	sim, err := accel.New(accel.DefaultHARPv2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{BlockSize: 64, Mode: Async, Policy: sched.Cyclic, NumPEs: 4, NumScatter: 2,
+		Epsilon: 1e-10, Sim: sim}
+	res := runPR(t, g, cfg)
+	// Every gathered edge streams weight (4B) + cached value (8B).
+	wantRead := res.Stats.EdgesTraversed * 12
+	if got := sim.TrafficBytes(accel.SeqRead); got != wantRead {
+		t.Fatalf("SeqRead bytes = %d, want %d", got, wantRead)
+	}
+	// Every processed vertex writes back an 8B value.
+	wantWrite := res.Stats.VertexUpdates * 8
+	if got := sim.TrafficBytes(accel.SeqWrite); got != wantWrite {
+		t.Fatalf("SeqWrite bytes = %d, want %d", got, wantWrite)
+	}
+	if got := sim.TrafficBytes(accel.RandWrite); got != res.Stats.ScatterWrites*8 {
+		t.Fatalf("RandWrite bytes = %d, want %d", got, res.Stats.ScatterWrites*8)
+	}
+	if res.Stats.SimTimeNs <= 0 {
+		t.Fatal("SimTimeNs not recorded")
+	}
+	if sim.BusUtilization() <= 0 || sim.PEUtilization() <= 0 {
+		t.Fatal("utilizations not recorded")
+	}
+}
+
+func TestSimulatorWorkerBoundsChecked(t *testing.T) {
+	g := testGraph(t)
+	sim, _ := accel.New(accel.Config{NumPEs: 2, BusGBps: 1, ClockMHz: 100, EdgesPerCycle: 1,
+		CPUThreads: 1, ScatterNsPerEdge: 1, CPUGatherNsPerEdge: 1})
+	if _, err := Run[float64, float64](g, bcd.PageRank{},
+		Config{BlockSize: 64, NumPEs: 4, NumScatter: 1, Sim: sim}); err == nil {
+		t.Fatal("want error: NumPEs exceeds simulator PEs")
+	}
+	if _, err := Run[float64, float64](g, bcd.PageRank{},
+		Config{BlockSize: 64, NumPEs: 2, NumScatter: 3, Sim: sim}); err == nil {
+		t.Fatal("want error: NumScatter exceeds simulator CPU threads")
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	empty, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runPR(t, empty, DefaultConfig(8))
+	if len(res.Values) != 0 || !res.Stats.Converged {
+		t.Fatal("empty graph run wrong")
+	}
+	res = runPR(t, empty, Config{Mode: BSP, NumPEs: 2, NumScatter: 1})
+	if !res.Stats.Converged {
+		t.Fatal("empty BSP run wrong")
+	}
+
+	single, err := graph.FromEdges(1, []graph.Edge{{Src: 0, Dst: 0, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = runPR(t, single, DefaultConfig(8))
+	if math.Abs(res.Values[0]-1) > 1e-6 { // self-loop PR: x = 0.15 + 0.85x -> 1
+		t.Fatalf("self-loop PR = %g, want 1", res.Values[0])
+	}
+}
+
+func TestStatsMTEPS(t *testing.T) {
+	s := Stats{EdgesTraversed: 2_000_000, WallTime: time.Second}
+	if got := s.MTEPS(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("MTEPS = %g", got)
+	}
+	if (Stats{}).MTEPS() != 0 {
+		t.Fatal("zero stats MTEPS must be 0")
+	}
+}
+
+func TestBarrierModeConvergenceMatchesAsync(t *testing.T) {
+	// The paper's observation: 'Barrier' converges like 'Async' (same
+	// algorithm design options), only slower in wall time.
+	g := testGraph(t)
+	async := runPR(t, g, Config{BlockSize: 64, Mode: Async, Policy: sched.Cyclic,
+		NumPEs: 4, NumScatter: 2, Epsilon: 1e-10})
+	barrier := runPR(t, g, Config{BlockSize: 64, Mode: Barrier, Policy: sched.Cyclic,
+		NumPEs: 4, NumScatter: 2, Epsilon: 1e-10})
+	ratio := barrier.Stats.Epochs / async.Stats.Epochs
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("barrier/async epoch ratio = %.2f, want comparable", ratio)
+	}
+}
+
+func TestKCoreExactOnSymmetricGraph(t *testing.T) {
+	// Symmetrize and simplify an R-MAT sample (coreness is an undirected,
+	// simple-graph notion).
+	base := testGraph(t)
+	seen := map[[2]uint32]bool{}
+	var edges []graph.Edge
+	for _, e := range base.Edges() {
+		a, b := e.Src, e.Dst
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]uint32{a, b}] {
+			continue
+		}
+		seen[[2]uint32{a, b}] = true
+		edges = append(edges,
+			graph.Edge{Src: a, Dst: b, Weight: 1},
+			graph.Edge{Src: b, Dst: a, Weight: 1})
+	}
+	g, err := graph.FromEdges(base.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bcd.RefKCore(g)
+	for _, policy := range []sched.Policy{sched.Cyclic, sched.Priority} {
+		cfg := Config{BlockSize: 32, Mode: Async, Policy: policy, NumPEs: 4, NumScatter: 2}
+		res, err := Run[uint64, bcd.KCoreAccum](g, bcd.KCore{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.Converged {
+			t.Fatalf("%v: did not converge", policy)
+		}
+		for v := range want {
+			if res.Values[v] != want[v] {
+				t.Fatalf("%v: core[%d] = %d, want %d", policy, v, res.Values[v], want[v])
+			}
+		}
+	}
+}

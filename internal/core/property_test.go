@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/gen"
+	"graphabcd/internal/sched"
+)
+
+// Property: on arbitrary random graphs, the async engine's PageRank agrees
+// with the Jacobi reference — across random block sizes, policies and
+// worker counts.
+func TestPropertyAsyncPageRankAgreesWithReference(t *testing.T) {
+	f := func(seed uint64, blockBits, peBits uint8) bool {
+		n := 64 + int(seed%128)
+		m := n * (2 + int(seed%6))
+		g, err := gen.Uniform(n, m, 0, seed)
+		if err != nil {
+			return false
+		}
+		cfg := Config{
+			BlockSize:  1 << (blockBits % 8), // 1..128
+			Mode:       Async,
+			Policy:     sched.Policy(seed % 3),
+			NumPEs:     1 + int(peBits%4),
+			NumScatter: 1 + int(peBits%2),
+			Epsilon:    1e-12,
+			Seed:       seed,
+		}
+		res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+		if err != nil || !res.Stats.Converged {
+			return false
+		}
+		want := bcd.RefPageRank(g, 0.85, 1e-13, 2000)
+		for v := range want {
+			if math.Abs(res.Values[v]-want[v]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: asynchronous SSSP is exact (equals Dijkstra) on random
+// weighted graphs regardless of configuration.
+func TestPropertyAsyncSSSPIsExact(t *testing.T) {
+	f := func(seed uint64, blockBits uint8) bool {
+		n := 32 + int(seed%100)
+		m := n * (1 + int(seed%8))
+		g, err := gen.Uniform(n, m, 32, seed)
+		if err != nil {
+			return false
+		}
+		src := uint32(seed % uint64(n))
+		cfg := Config{
+			BlockSize:  1 << (blockBits % 7),
+			Mode:       Async,
+			Policy:     sched.Policy(seed % 3),
+			NumPEs:     2,
+			NumScatter: 2,
+			Seed:       seed,
+		}
+		res, err := Run[float64, float64](g, bcd.SSSP{Source: src}, cfg)
+		if err != nil || !res.Stats.Converged {
+			return false
+		}
+		want := bcd.RefSSSP(g, src)
+		for v := range want {
+			got := res.Values[v]
+			if got != want[v] && !(math.IsInf(got, 1) && math.IsInf(want[v], 1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// OnEpoch must fire monotonically, once per completed epoch-equivalent.
+func TestOnEpochHookFires(t *testing.T) {
+	g := testGraph(t)
+	var calls atomic.Int64
+	var lastEpoch atomic.Int64
+	cfg := Config{BlockSize: 32, Mode: Async, Policy: sched.Cyclic,
+		NumPEs: 2, NumScatter: 1, Epsilon: 1e-10,
+		OnEpoch: func(epoch int) {
+			calls.Add(1)
+			if int64(epoch) <= lastEpoch.Load() {
+				t.Errorf("epoch %d not monotone after %d", epoch, lastEpoch.Load())
+			}
+			lastEpoch.Store(int64(epoch))
+		},
+	}
+	res := runPR(t, g, cfg)
+	if calls.Load() == 0 {
+		t.Fatal("OnEpoch never fired")
+	}
+	// The hook lags the scheduler's view by at most the in-flight work.
+	if got := lastEpoch.Load(); float64(got) > res.Stats.Epochs+1 {
+		t.Fatalf("hook reported epoch %d beyond run total %.1f", got, res.Stats.Epochs)
+	}
+	// BSP fires once per sweep.
+	var bspCalls atomic.Int64
+	bspCfg := Config{Mode: BSP, NumPEs: 2, NumScatter: 1, Epsilon: 1e-10,
+		OnEpoch: func(int) { bspCalls.Add(1) }}
+	bspRes := runPR(t, g, bspCfg)
+	if c := bspCalls.Load(); c == 0 || float64(c) > bspRes.Stats.Epochs+1 {
+		t.Fatalf("BSP hook calls = %d for %.0f sweeps", c, bspRes.Stats.Epochs)
+	}
+}

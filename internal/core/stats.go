@@ -1,0 +1,51 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats summarizes one engine run. BlockUpdates counts processed blocks,
+// VertexUpdates the vertex-program executions (each vertex of a processed
+// block counts once), EdgesTraversed the in-edges streamed through GATHER.
+//
+// Epochs is VertexUpdates / |V| — the "# of iterations" of the paper's
+// Equation (1) in epoch-equivalents, which makes a BSP sweep (1 epoch) and
+// small-block executions directly comparable (Fig. 4's normalization).
+type Stats struct {
+	BlockUpdates   int64
+	VertexUpdates  int64
+	EdgesTraversed int64
+	ScatterWrites  int64 // out-edge cache slots written by SCATTER
+	HybridBlocks   int64 // blocks processed by CPU workers (hybrid mode)
+	Epochs         float64
+	Converged      bool // false when MaxEpochs stopped the run
+	WallTime       time.Duration
+	SimTimeNs      float64 // accelerator-model makespan (0 without Sim)
+}
+
+// MTEPS returns millions of traversed edges per second of wall time, the
+// throughput metric of Table II.
+func (s Stats) MTEPS() float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return float64(s.EdgesTraversed) / s.WallTime.Seconds() / 1e6
+}
+
+// counters is the engine's internal atomic tally.
+type counters struct {
+	blocks   atomic.Int64
+	vertices atomic.Int64
+	edges    atomic.Int64
+	scatter  atomic.Int64
+	hybrid   atomic.Int64
+	issued   atomic.Int64 // tasks pushed to the accelerator queue
+	finished atomic.Int64 // tasks whose scatter completed
+}
+
+// Result bundles the final vertex values with the run statistics.
+type Result[V any] struct {
+	Values []V
+	Stats  Stats
+}

@@ -1,0 +1,65 @@
+// Package edgestore abstracts where the static edge structure (source ids
+// and weights of each in-edge slot) lives during GATHER streaming. The
+// paper partitions graphs partly to enable out-of-core processing
+// (Sec. III-A) and points at compressed representations as a way to cut
+// memory traffic (Sec. VI-C); this package provides both:
+//
+//   - InMemory: zero-copy views into the Graph's arrays (the default);
+//   - File: the edge structure spilled to a binary file, each block's
+//     range read back with one sequential pread — possible only because
+//     the pull-push layout makes every block's in-edges one contiguous
+//     range;
+//   - Compressed: the same file-backed layout with per-vertex
+//     delta-varint source encoding (Ligra+-style), exploiting the
+//     ascending-source order within each vertex's slot range.
+//
+// Only the static structure moves out of core; the per-edge value caches
+// are mutable and stay in memory.
+package edgestore
+
+import (
+	"fmt"
+
+	"graphabcd/internal/graph"
+)
+
+// Source supplies the static in-edge arrays for vertex-aligned CSC slot
+// ranges. Implementations must be safe for concurrent use.
+type Source interface {
+	// Block returns the source ids and weights of the slot range
+	// [slo, shi), which must span whole vertices [vlo, vhi) (as every
+	// partition block does). The slices are valid until release is
+	// called; they may alias pooled buffers.
+	Block(vlo, vhi int, slo, shi int64) (src []uint32, w []float32, release func(), err error)
+	// Bytes reports the backing storage footprint.
+	Bytes() int64
+	// Close releases the source's resources.
+	Close() error
+}
+
+// InMemory returns the default zero-copy source over g's arrays.
+func InMemory(g *graph.Graph) Source { return memSource{g: g} }
+
+type memSource struct{ g *graph.Graph }
+
+func (m memSource) Block(vlo, vhi int, slo, shi int64) ([]uint32, []float32, func(), error) {
+	if err := validateRange(m.g, vlo, vhi, slo, shi); err != nil {
+		return nil, nil, nil, err
+	}
+	return m.g.InSrcs(slo, shi), m.g.InWeightsRange(slo, shi), func() {}, nil
+}
+
+func (m memSource) Bytes() int64 { return int64(m.g.NumEdges()) * 8 }
+
+func (m memSource) Close() error { return nil }
+
+// validateRange checks a Block request against the graph's offsets.
+func validateRange(g *graph.Graph, vlo, vhi int, slo, shi int64) error {
+	if vlo < 0 || vhi > g.NumVertices() || vlo > vhi {
+		return fmt.Errorf("edgestore: vertex range [%d,%d) invalid", vlo, vhi)
+	}
+	if slo != g.InOffset(vlo) || shi != g.InOffset(vhi) {
+		return fmt.Errorf("edgestore: slot range [%d,%d) not aligned to vertices [%d,%d)", slo, shi, vlo, vhi)
+	}
+	return nil
+}

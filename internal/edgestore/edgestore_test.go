@@ -1,0 +1,170 @@
+package edgestore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphabcd/internal/gen"
+	"graphabcd/internal/graph"
+)
+
+func testGraph(t *testing.T, weighted bool) *graph.Graph {
+	t.Helper()
+	cfg := gen.DefaultRMAT(9, 6, 77)
+	if weighted {
+		cfg.MaxWeight = 16
+	}
+	g, err := gen.RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// checkSource verifies that a source reproduces the graph's arrays for
+// every block of the given partition sizes.
+func checkSource(t *testing.T, g *graph.Graph, s Source) {
+	t.Helper()
+	for _, bs := range []int{1, 7, 64, g.NumVertices()} {
+		p, err := graph.NewPartition(g, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < p.NumBlocks(); b++ {
+			vlo, vhi := p.VertexRange(b)
+			slo, shi := p.EdgeRange(b)
+			src, w, release, err := s.Block(vlo, vhi, slo, shi)
+			if err != nil {
+				t.Fatalf("block %d (bs %d): %v", b, bs, err)
+			}
+			wantSrc := g.InSrcs(slo, shi)
+			wantW := g.InWeightsRange(slo, shi)
+			for i := range wantSrc {
+				if src[i] != wantSrc[i] {
+					t.Fatalf("block %d slot %d: src %d, want %d", b, i, src[i], wantSrc[i])
+				}
+				if w[i] != wantW[i] {
+					t.Fatalf("block %d slot %d: w %g, want %g", b, i, w[i], wantW[i])
+				}
+			}
+			release()
+		}
+	}
+}
+
+func TestInMemorySource(t *testing.T) {
+	g := testGraph(t, true)
+	s := InMemory(g)
+	defer s.Close()
+	checkSource(t, g, s)
+	if s.Bytes() != int64(g.NumEdges())*8 {
+		t.Fatalf("Bytes = %d", s.Bytes())
+	}
+}
+
+func TestFileSourceRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := testGraph(t, weighted)
+		path := filepath.Join(t.TempDir(), "edges.bin")
+		if err := WriteFile(g, path); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenFile(g, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSource(t, g, s)
+		if s.Bytes() != headerBytes+int64(g.NumEdges())*8 {
+			t.Fatalf("Bytes = %d", s.Bytes())
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompressedSourceRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := testGraph(t, weighted)
+		path := filepath.Join(t.TempDir(), "edges.gabc")
+		if err := WriteCompressed(g, path); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenCompressed(g, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSource(t, g, s)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompressedIsSmaller(t *testing.T) {
+	g := testGraph(t, false) // unweighted: weights elided entirely
+	dir := t.TempDir()
+	raw, comp := filepath.Join(dir, "raw"), filepath.Join(dir, "comp")
+	if err := WriteFile(g, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompressed(g, comp); err != nil {
+		t.Fatal(err)
+	}
+	ri, _ := os.Stat(raw)
+	ci, _ := os.Stat(comp)
+	// Unweighted skewed graph: varint deltas + elided weights should cut
+	// the file well below half of the raw 8 B/edge.
+	if ci.Size() >= ri.Size()/2 {
+		t.Fatalf("compressed %d vs raw %d: expected < half", ci.Size(), ri.Size())
+	}
+	t.Logf("compression: %d -> %d bytes (%.1fx)", ri.Size(), ci.Size(), float64(ri.Size())/float64(ci.Size()))
+}
+
+func TestOpenRejectsMismatchedGraph(t *testing.T) {
+	g := testGraph(t, false)
+	other := testGraph(t, true) // same shape? different weights only
+	small, err := gen.Uniform(16, 32, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	raw, comp := filepath.Join(dir, "raw"), filepath.Join(dir, "comp")
+	if err := WriteFile(g, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompressed(g, comp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(small, raw); err == nil {
+		t.Fatal("OpenFile accepted a mismatched graph")
+	}
+	if _, err := OpenCompressed(small, comp); err == nil {
+		t.Fatal("OpenCompressed accepted a mismatched graph")
+	}
+	_ = other
+	// Corrupt magic.
+	if err := os.WriteFile(raw, []byte("XXXXjunkjunkjunkjunkjunk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(g, raw); err == nil {
+		t.Fatal("OpenFile accepted corrupt magic")
+	}
+}
+
+func TestBlockRangeValidation(t *testing.T) {
+	g := testGraph(t, false)
+	s := InMemory(g)
+	// Find a vertex with in-edges so the misalignment is detectable.
+	v := 0
+	for g.InOffset(v+1) == g.InOffset(v) {
+		v++
+	}
+	if _, _, _, err := s.Block(0, v, 0, g.InOffset(v+1)); err == nil {
+		t.Fatal("misaligned range accepted")
+	}
+	if _, _, _, err := s.Block(-1, 1, 0, g.InOffset(1)); err == nil {
+		t.Fatal("negative vertex accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package edgestore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphabcd/internal/gen"
+)
+
+// FuzzOpenCompressed: arbitrary file bytes must never panic the compressed
+// reader — they either fail to open or fail cleanly on the first Block.
+func FuzzOpenCompressed(f *testing.F) {
+	g, err := gen.Uniform(16, 48, 4, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seed with a valid file and a few mutations of it.
+	dir := f.TempDir()
+	valid := filepath.Join(dir, "valid")
+	if err := WriteCompressed(g, valid); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	if len(data) > 40 {
+		trunc := data[:40]
+		f.Add(trunc)
+		flipped := append([]byte(nil), data...)
+		flipped[30] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Add([]byte("GABC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz")
+		if err := os.WriteFile(path, in, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenCompressed(g, path)
+		if err != nil {
+			return
+		}
+		defer s.Close()
+		// Reading any vertex-aligned block must not panic; errors are fine.
+		n := g.NumVertices()
+		_, _, release, err := s.Block(0, n, g.InOffset(0), g.InOffset(n))
+		if err == nil {
+			release()
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/core"
+	"graphabcd/internal/metrics"
+	"graphabcd/internal/sched"
+)
+
+// This file holds the ablations of GraphABCD's individual design choices
+// that DESIGN.md calls out, beyond the paper's own figures: the vertex
+// operator's traffic consequences (Sec. IV-A2), the bounded-staleness
+// queue depth (Sec. III-D's convergence condition made measurable), and
+// the full block-selection policy spectrum including randomized BCD.
+
+// OperatorRow is the modeled CPU-accelerator traffic of one vertex
+// operator choice, per the accounting of Sec. IV-A2.
+type OperatorRow struct {
+	Operator    string
+	Graph       string
+	BusBytes    int64   // total CPU<->accelerator traffic
+	RandomBytes int64   // portion that is random-access
+	RandomPct   float64 // RandomBytes / BusBytes
+}
+
+// AblationOperator reproduces the paper's pull vs push vs pull-push
+// traffic argument analytically for each social analog, with PageRank's
+// byte widths (8 B values, 12 B streamed edges):
+//
+//   - pull: streams |E| edges but GATHER reads V[src] randomly per edge;
+//   - push: streams |E| edges, SCATTER random-reads V[dst] and
+//     random-writes updates per edge;
+//   - pull-push with GATHER-APPLY offloaded (GraphABCD): |E| sequential
+//     edge reads + |V| sequential value writes, zero random accelerator
+//     traffic — the paper's justification for its memory layout;
+//   - pull-push with SCATTER also offloaded: 2|E| traffic, the
+//     alternative Sec. IV-A2 rejects.
+func AblationOperator(opt Options) ([]OperatorRow, error) {
+	const valueBytes, edgeBytes = 8, 12
+	var rows []OperatorRow
+	tab := metrics.NewTable(opt.out(), "operator", "graph", "bus-bytes", "random-bytes", "random-pct")
+	for _, gname := range []string{"WT", "PS", "LJ", "TW"} {
+		g, err := opt.socialGraph(gname, false)
+		if err != nil {
+			return nil, err
+		}
+		e, v := int64(g.NumEdges()), int64(g.NumVertices())
+		for _, c := range []struct {
+			name        string
+			seq, random int64
+		}{
+			{"pull", e * edgeBytes, e * valueBytes},
+			{"push", e * edgeBytes, 2 * e * valueBytes},
+			{"pull-push(GA offload)", e*edgeBytes + v*valueBytes, 0},
+			{"pull-push(GAS offload)", 2 * e * edgeBytes, 0},
+		} {
+			row := OperatorRow{Operator: c.name, Graph: gname,
+				BusBytes: c.seq + c.random, RandomBytes: c.random}
+			if row.BusBytes > 0 {
+				row.RandomPct = 100 * float64(row.RandomBytes) / float64(row.BusBytes)
+			}
+			rows = append(rows, row)
+			tab.Row(row.Operator, row.Graph, row.BusBytes, row.RandomBytes, fmtf("%.0f%%", row.RandomPct))
+		}
+	}
+	return rows, tab.Flush()
+}
+
+// StalenessRow is one point of the queue-depth (staleness bound) sweep.
+type StalenessRow struct {
+	QueueDepth int
+	Epochs     float64
+}
+
+// AblationStaleness sweeps the engine's task-queue depth — the bounded
+// delay of asynchronous BCD (Sec. III-D) — on PageRank over the LJ
+// analog. Shallow queues keep gathers close behind scatters
+// (Gauss-Seidel-like freshness, fast convergence); deep queues let the
+// gather pipeline run on stale caches and converge like Jacobi.
+func AblationStaleness(opt Options) ([]StalenessRow, error) {
+	g, err := opt.socialGraph("LJ", false)
+	if err != nil {
+		return nil, err
+	}
+	var rows []StalenessRow
+	tab := metrics.NewTable(opt.out(), "queue-depth", "epochs")
+	nb := (g.NumVertices() + defaultBlock(g) - 1) / defaultBlock(g)
+	for _, depth := range []int{1, 2, 8, 32, nb} {
+		cfg := opt.engineConfig(defaultBlock(g), core.Async, sched.Cyclic, false, prEps(g), 0)
+		cfg.QueueDepth = depth
+		res, err := core.Run[float64, float64](g, bcd.PageRank{}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := StalenessRow{QueueDepth: depth, Epochs: res.Stats.Epochs}
+		rows = append(rows, row)
+		tab.Row(depth, row.Epochs)
+	}
+	return rows, tab.Flush()
+}
+
+// PolicyRow is one (policy, app, graph) epoch count.
+type PolicyRow struct {
+	Policy string
+	App    string
+	Graph  string
+	Epochs float64
+}
+
+// AblationPolicy compares the full block-selection spectrum — cyclic,
+// randomized BCD, and Gauss-Southwell priority — on PR and SSSP,
+// extending the paper's two-policy comparison with the classic randomized
+// rule from the BCD literature it cites.
+func AblationPolicy(opt Options) ([]PolicyRow, error) {
+	var rows []PolicyRow
+	tab := metrics.NewTable(opt.out(), "policy", "app", "graph", "epochs")
+	for _, app := range []string{"pr", "sssp"} {
+		for _, gname := range []string{"WT", "LJ"} {
+			g, err := opt.socialGraph(gname, app == "sssp")
+			if err != nil {
+				return nil, err
+			}
+			for _, policy := range []sched.Policy{sched.Cyclic, sched.Random, sched.Priority} {
+				st, err := runSocialApp(app, g, opt.engineConfig(defaultBlock(g), core.Async, policy, false, appEps(app, g), 0))
+				if err != nil {
+					return nil, err
+				}
+				row := PolicyRow{Policy: policy.String(), App: app, Graph: gname, Epochs: st.Epochs}
+				rows = append(rows, row)
+				tab.Row(row.Policy, row.App, row.Graph, row.Epochs)
+			}
+		}
+	}
+	return rows, tab.Flush()
+}

@@ -1,0 +1,234 @@
+package exp
+
+import (
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/core"
+	"graphabcd/internal/graph"
+	"graphabcd/internal/graphmat"
+	"graphabcd/internal/metrics"
+	"graphabcd/internal/sched"
+)
+
+// Fig4Row is one bar of Fig. 4: the epoch count of (algorithm, graph,
+// policy, block size), normalized to the BSP epoch count of the same
+// (algorithm, graph).
+type Fig4Row struct {
+	App       string
+	Graph     string
+	Policy    string
+	BlockSize int
+	Epochs    float64
+	NormBSP   float64 // Epochs / BSP epochs; < 1 means faster convergence
+}
+
+// Fig4 reproduces the convergence-rate study: PR and SSSP on PS, WT and
+// LJ, cyclic vs priority scheduling, block sizes 8..32768, normalized to
+// BSP. Paper's claims: smaller blocks converge in fewer epochs (1.2-5x),
+// priority beats cyclic (up to 5x), and the priority advantage grows as
+// blocks shrink.
+func Fig4(opt Options) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	tab := metrics.NewTable(opt.out(), "app", "graph", "policy", "block", "epochs", "norm-bsp")
+	for _, gname := range []string{"PS", "WT", "LJ"} {
+		for _, app := range []string{"pr", "sssp"} {
+			g, err := opt.socialGraph(gname, app == "sssp")
+			if err != nil {
+				return nil, err
+			}
+			run := func(cfg core.Config) (float64, error) {
+				st, err := runSocialApp(app, g, cfg)
+				if err != nil {
+					return 0, err
+				}
+				return st.Epochs, nil
+			}
+			bspEpochs, err := run(opt.engineConfig(0, core.BSP, sched.Cyclic, false, appEps(app, g), 0))
+			if err != nil {
+				return nil, err
+			}
+			for _, block := range fig4Blocks(g) {
+				for _, policy := range []sched.Policy{sched.Cyclic, sched.Priority} {
+					epochs, err := run(opt.engineConfig(block, core.Async, policy, false, appEps(app, g), 0))
+					if err != nil {
+						return nil, err
+					}
+					row := Fig4Row{
+						App: app, Graph: gname, Policy: policy.String(),
+						BlockSize: block, Epochs: epochs, NormBSP: epochs / bspEpochs,
+					}
+					rows = append(rows, row)
+					tab.Row(row.App, row.Graph, row.Policy, row.BlockSize, row.Epochs, row.NormBSP)
+				}
+			}
+		}
+	}
+	return rows, tab.Flush()
+}
+
+// fig4Blocks mirrors the paper's 8..32768 sweep, clipped to the graph.
+func fig4Blocks(g *graph.Graph) []int {
+	var out []int
+	for b := 8; b <= 32768 && b < g.NumVertices(); b *= 4 {
+		out = append(out, b)
+	}
+	return out
+}
+
+func appEps(app string, g *graph.Graph) float64 {
+	if app == "pr" {
+		return prEps(g)
+	}
+	return 0 // monotone traversal apps converge exactly
+}
+
+// runSocialApp executes pr or sssp under cfg and returns the stats.
+func runSocialApp(app string, g *graph.Graph, cfg core.Config) (core.Stats, error) {
+	switch app {
+	case "pr":
+		res, err := core.Run[float64, float64](g, bcd.PageRank{}, cfg)
+		if err != nil {
+			return core.Stats{}, err
+		}
+		return res.Stats, nil
+	case "sssp":
+		res, err := core.Run[float64, float64](g, bcd.SSSP{Source: pickSource(g)}, cfg)
+		if err != nil {
+			return core.Stats{}, err
+		}
+		return res.Stats, nil
+	}
+	return core.Stats{}, fmtErr("unknown app %q", app)
+}
+
+// Table3Row is one row of Table III: iteration counts of GraphABCD's
+// priority and cyclic scheduling vs GraphMat (whose count Graphicionado
+// shares).
+type Table3Row struct {
+	App      string
+	Graph    string
+	Priority float64
+	Cyclic   float64
+	GraphMat float64
+}
+
+// Table3 reproduces the convergence-rate table. Paper's claims: on PR,
+// GraphABCD needs ~72-76% fewer iterations than GraphMat; on SSSP,
+// GraphMat's active-vertex filtering effectively shrinks its block size
+// and GraphABCD takes ~1.5-1.8x more iterations; priority cuts 11-38%
+// (PR) and 8-12% (SSSP) vs cyclic.
+func Table3(opt Options) ([]Table3Row, error) {
+	var rows []Table3Row
+	tab := metrics.NewTable(opt.out(), "app", "graph", "priority", "cyclic", "graphmat")
+	for _, app := range []string{"pr", "sssp"} {
+		for _, gname := range []string{"WT", "PS", "LJ", "TW"} {
+			g, err := opt.socialGraph(gname, app == "sssp")
+			if err != nil {
+				return nil, err
+			}
+			block := defaultBlock(g)
+			eps := appEps(app, g)
+			prio, err := runSocialApp(app, g, opt.engineConfig(block, core.Async, sched.Priority, false, eps, 0))
+			if err != nil {
+				return nil, err
+			}
+			cyc, err := runSocialApp(app, g, opt.engineConfig(block, core.Async, sched.Cyclic, false, eps, 0))
+			if err != nil {
+				return nil, err
+			}
+			gmIters, err := runGraphMatSocial(app, g, opt)
+			if err != nil {
+				return nil, err
+			}
+			row := Table3Row{App: app, Graph: gname, Priority: prio.Epochs, Cyclic: cyc.Epochs, GraphMat: gmIters}
+			rows = append(rows, row)
+			tab.Row(row.App, row.Graph, row.Priority, row.Cyclic, row.GraphMat)
+		}
+	}
+	return rows, tab.Flush()
+}
+
+// runGraphMatSocial returns GraphMat's sweep count for pr or sssp on g.
+func runGraphMatSocial(app string, g *graph.Graph, opt Options) (float64, error) {
+	cfg := graphmat.Config{Threads: opt.threads()}
+	switch app {
+	case "pr":
+		res, err := graphmat.Run[float64, float64](g, graphmat.PageRank{Eps: prEps(g)}, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.Stats.Iterations), nil
+	case "sssp":
+		res, err := graphmat.Run[float64, float64](g, graphmat.SSSP{Source: pickSource(g)}, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.Stats.Iterations), nil
+	}
+	return 0, fmtErr("unknown app %q", app)
+}
+
+// Fig5Point is one sample of a Fig. 5 RMSE curve.
+type Fig5Point struct {
+	System string // "priority", "cyclic", "graphmat"
+	Epochs float64
+	RMSE   float64
+}
+
+// Fig5 reproduces the CF convergence figure on the Netflix analog: RMSE
+// versus iterations for GraphABCD priority, GraphABCD cyclic, and
+// GraphMat. Paper's claim: GraphABCD reaches better RMSE in far fewer
+// iterations (20 iters at RMSE 1.04 vs GraphMat's 60 at 1.34 on real
+// Netflix), because its block size is much smaller than GraphMat's |V|;
+// priority scheduling reduces RMSE ~10% faster than cyclic.
+func Fig5(opt Options) ([]Fig5Point, error) {
+	rg, err := opt.ratingGraph("NF")
+	if err != nil {
+		return nil, err
+	}
+	params := cfParams()
+	budgets := []float64{1, 2, 4, 8, 12, 16, 20, 30, 45, 60}
+	var pts []Fig5Point
+	tab := metrics.NewTable(opt.out(), "system", "iters", "rmse")
+	for _, policy := range []sched.Policy{sched.Priority, sched.Cyclic} {
+		for _, b := range budgets {
+			cfg := opt.engineConfig(defaultBlock(rg.Graph), core.Async, policy, false, 1e-9, b)
+			res, err := core.Run[[]float32, []float64](rg.Graph, params, cfg)
+			if err != nil {
+				return nil, err
+			}
+			p := Fig5Point{System: policy.String(), Epochs: res.Stats.Epochs, RMSE: params.RMSE(rg.Graph, res.Values)}
+			pts = append(pts, p)
+			tab.Row(p.System, p.Epochs, p.RMSE)
+		}
+	}
+	gmProg := graphmat.NewCF(graphmat.CF{Rank: params.Rank, LearnRate: params.LearnRate, Lambda: params.Lambda, Seed: params.Seed})
+	for _, b := range budgets {
+		res, err := graphmat.Run[[]float32, graphmat.CFMsg](rg.Graph, gmProg,
+			graphmat.Config{Threads: opt.threads(), MaxIters: int(b)})
+		if err != nil {
+			return nil, err
+		}
+		p := Fig5Point{System: "graphmat", Epochs: float64(res.Stats.Iterations), RMSE: params.RMSE(rg.Graph, res.Values)}
+		pts = append(pts, p)
+		tab.Row(p.System, p.Epochs, p.RMSE)
+	}
+	return pts, tab.Flush()
+}
+
+// fmtErr keeps error formatting local without importing fmt twice.
+func fmtErr(f string, args ...any) error { return &expError{msg: fmtf(f, args...)} }
+
+type expError struct{ msg string }
+
+func (e *expError) Error() string { return "exp: " + e.msg }
+
+// geomeanRatio returns the geometric mean of num[i]/den[i].
+func geomeanRatio(num, den []float64) float64 {
+	r := make([]float64, 0, len(num))
+	for i := range num {
+		if den[i] > 0 {
+			r = append(r, num[i]/den[i])
+		}
+	}
+	return metrics.Geomean(r)
+}

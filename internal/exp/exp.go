@@ -1,0 +1,139 @@
+// Package exp is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Sec. V). Each experiment function
+// returns its rows as data (for tests and benchmarks) and renders the
+// paper-style table to Options.Out.
+//
+// Absolute numbers differ from the paper — the datasets are scaled-down
+// synthetic analogs and the accelerator is a cost model — but each
+// function's doc comment states the paper's qualitative claim, and the
+// package tests assert those shapes hold.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"graphabcd/internal/accel"
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/core"
+	"graphabcd/internal/gen"
+	"graphabcd/internal/graph"
+	"graphabcd/internal/sched"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Shrink scales every dataset down by 2^Shrink from its Table-I
+	// analog size. 0 reproduces the full analogs; benchmarks use 3-5.
+	Shrink int
+	// Threads caps host parallelism (engine PEs + scatter workers).
+	// 0 means GOMAXPROCS.
+	Threads int
+	// Out receives the rendered tables; nil discards them.
+	Out io.Writer
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+func (o Options) threads() int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// pes/scatter split host threads ~2:1 between gather-apply and scatter,
+// mirroring the paper's 16 PE / 14 thread asymmetry.
+func (o Options) pes() int { return max(1, o.threads()*2/3) }
+
+func (o Options) scatter() int { return max(1, o.threads()-o.pes()) }
+
+// socialGraph builds a Table-I social analog, cached per (name, weighted).
+func (o Options) socialGraph(name string, weighted bool) (*graph.Graph, error) {
+	d, err := gen.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.BuildSocial(o.Shrink, weighted)
+}
+
+// ratingGraph builds a Table-I rating analog.
+func (o Options) ratingGraph(name string) (*gen.RatingGraph, error) {
+	d, err := gen.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.BuildRating(o.Shrink)
+}
+
+// pickSource returns the max-out-degree vertex — a deterministic source
+// inside the giant component for SSSP/BFS runs.
+func pickSource(g *graph.Graph) uint32 {
+	best, bestDeg := uint32(0), int32(-1)
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(uint32(v)); d > bestDeg {
+			best, bestDeg = uint32(v), d
+		}
+	}
+	return best
+}
+
+// engineConfig assembles a core.Config with the harness defaults.
+func (o Options) engineConfig(blockSize int, mode core.Mode, policy sched.Policy, hybrid bool, eps, maxEpochs float64) core.Config {
+	return core.Config{
+		BlockSize:  blockSize,
+		Mode:       mode,
+		Policy:     policy,
+		NumPEs:     o.pes(),
+		NumScatter: o.scatter(),
+		Hybrid:     hybrid,
+		Epsilon:    eps,
+		MaxEpochs:  maxEpochs,
+		Seed:       1,
+	}
+}
+
+// defaultBlock picks the harness's default block size: |V|/256 bounded to
+// [16, 4096]. This keeps the block count well above the PE count (so the
+// decoupled pipeline can fill all 16 modeled PEs) while staying in the
+// convergence/overhead regime the paper's Fig. 4 identifies.
+func defaultBlock(g *graph.Graph) int {
+	b := g.NumVertices() / 256
+	if b < 16 {
+		b = 16
+	}
+	if b > 4096 {
+		b = 4096
+	}
+	return b
+}
+
+// prEps is the harness-wide PageRank activation threshold. Scaled runs
+// have rank mass ~1/|V| per vertex, so the threshold scales too.
+func prEps(g *graph.Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 1e-12
+	}
+	return 1e-7 / float64(n)
+}
+
+// cfParams returns the CF hyper-parameters used across every experiment,
+// shared by GraphABCD and GraphMat for apples-to-apples comparisons.
+func cfParams() bcd.CF { return bcd.CF{Rank: 8, LearnRate: 0.3, Lambda: 0.01, Seed: 7} }
+
+// newSim builds a HARPv2-model simulator with the given PE count.
+func newSim(pes, cpus int) (*accel.Simulator, error) {
+	cfg := accel.DefaultHARPv2()
+	cfg.NumPEs = pes
+	cfg.CPUThreads = cpus
+	return accel.New(cfg)
+}
+
+func fmtf(f string, args ...any) string { return fmt.Sprintf(f, args...) }

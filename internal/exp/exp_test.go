@@ -1,0 +1,364 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graphabcd/internal/metrics"
+)
+
+// testOpt shrinks every dataset aggressively so the whole harness runs in
+// seconds on one core while preserving the qualitative shapes.
+func testOpt() Options {
+	return Options{Shrink: 5, Threads: 2}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	opt := testOpt()
+	opt.Out = &buf
+	rows, err := Table1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("want 7 datasets, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Vertices == 0 || r.Edges == 0 {
+			t.Fatalf("dataset %s empty", r.Name)
+		}
+	}
+	if !strings.Contains(buf.String(), "NF") {
+		t.Fatal("table output missing NF row")
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	rows, err := Fig4(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Claim 1: small asynchronous blocks converge in fewer epochs than
+	// BSP — check the smallest block size per (app, graph).
+	type key struct{ app, g string }
+	smallest := map[key]Fig4Row{}
+	for _, r := range rows {
+		k := key{r.App, r.Graph}
+		if cur, ok := smallest[k]; !ok || r.BlockSize < cur.BlockSize {
+			if r.Policy == "priority" {
+				smallest[k] = r
+			}
+		}
+	}
+	beat := 0
+	for k, r := range smallest {
+		if r.NormBSP < 1 {
+			beat++
+		} else {
+			t.Logf("%v: smallest priority block norm %.2f (>= BSP)", k, r.NormBSP)
+		}
+	}
+	if beat < len(smallest)-1 { // allow one noisy exception
+		t.Fatalf("small blocks beat BSP on only %d/%d app-graph pairs", beat, len(smallest))
+	}
+	// Claim 2: priority converges at least as fast as cyclic on average.
+	var prio, cyc []float64
+	index := map[string]float64{}
+	for _, r := range rows {
+		if r.Policy == "cyclic" {
+			index[r.App+r.Graph+itoa(r.BlockSize)] = r.Epochs
+		}
+	}
+	for _, r := range rows {
+		if r.Policy == "priority" {
+			if c, ok := index[r.App+r.Graph+itoa(r.BlockSize)]; ok {
+				prio = append(prio, r.Epochs)
+				cyc = append(cyc, c)
+			}
+		}
+	}
+	// At laptop scale the Gauss-Southwell advantage is modest and graph-
+	// dependent (clear on the sparse WT analog, parity on the dense PS
+	// analog); require priority not to be materially worse overall.
+	if g := geomeanRatio(prio, cyc); g >= 1.05 {
+		t.Fatalf("priority/cyclic epoch geomean ratio = %.3f, want <= ~1", g)
+	}
+}
+
+func itoa(v int) string {
+	var buf [12]byte
+	i := len(buf)
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestTable3Shapes(t *testing.T) {
+	rows, err := Table3(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("want 8 rows, got %d", len(rows))
+	}
+	var prPrio, prGM, ssspPrio, ssspGM []float64
+	for _, r := range rows {
+		if r.Priority <= 0 || r.Cyclic <= 0 || r.GraphMat <= 0 {
+			t.Fatalf("row %+v has empty counts", r)
+		}
+		switch r.App {
+		case "pr":
+			prPrio = append(prPrio, r.Priority)
+			prGM = append(prGM, r.GraphMat)
+		case "sssp":
+			ssspPrio = append(ssspPrio, r.Priority)
+			ssspGM = append(ssspGM, r.GraphMat)
+		}
+	}
+	// PR: GraphABCD needs fewer iterations than GraphMat. The paper reports
+	// ~4x on million-vertex graphs; at this scale our gap tracks the
+	// Gauss-Seidel-vs-Jacobi bound (~1.2-1.5x, growing with graph size —
+	// see EXPERIMENTS.md), so assert the direction with a modest margin.
+	if g := geomeanRatio(prGM, prPrio); g < 1.15 {
+		t.Fatalf("PR GraphMat/GraphABCD iteration ratio = %.2f, want > 1.15", g)
+	}
+	// SSSP: GraphMat's active filter makes it competitive. Note the
+	// metric nuance: our epoch-equivalents count only processed (active)
+	// blocks, while GraphMat's count is full sweeps, so the two scales
+	// differ; require the ratio to stay within a sane band rather than
+	// reproduce the paper's exact 1.5-1.8x in GraphMat's favour.
+	if g := geomeanRatio(ssspGM, ssspPrio); g > 2.5 {
+		t.Fatalf("SSSP GraphMat/GraphABCD ratio = %.2f, outside the sane band", g)
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	pts, err := Fig5(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]Fig5Point{}
+	first := map[string]Fig5Point{}
+	for _, p := range pts {
+		if _, ok := first[p.System]; !ok {
+			first[p.System] = p
+		}
+		last[p.System] = p
+	}
+	for sys := range last {
+		if last[sys].RMSE >= first[sys].RMSE {
+			t.Fatalf("%s RMSE did not decrease: %.3f -> %.3f", sys, first[sys].RMSE, last[sys].RMSE)
+		}
+	}
+	// GraphABCD at ~20 epochs should reach lower RMSE than GraphMat at 20
+	// sweeps (the smaller block size converges faster).
+	var abcd20, gm20 float64
+	for _, p := range pts {
+		if p.System == "priority" && p.Epochs >= 18 && p.Epochs <= 25 && abcd20 == 0 {
+			abcd20 = p.RMSE
+		}
+		if p.System == "graphmat" && p.Epochs == 20 {
+			gm20 = p.RMSE
+		}
+	}
+	if abcd20 == 0 || gm20 == 0 {
+		t.Fatal("missing 20-iteration samples")
+	}
+	if abcd20 >= gm20*1.02 {
+		t.Fatalf("GraphABCD RMSE at ~20 iters (%.4f) should beat GraphMat's (%.4f)", abcd20, gm20)
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	rows, err := Table2(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("want 11 rows, got %d", len(rows))
+	}
+	var abcdM, gmM []float64
+	for _, r := range rows {
+		if r.ABCDSeconds <= 0 || r.GMSeconds <= 0 {
+			t.Fatalf("row %+v has empty wall timings", r)
+		}
+		if r.ABCDModelSec <= 0 || r.GMModelSec <= 0 {
+			t.Fatalf("row %+v has empty model timings", r)
+		}
+		if r.ASICSeconds <= 0 {
+			t.Fatalf("row %+v missing ASIC projection", r)
+		}
+		abcdM = append(abcdM, r.ABCDModelSec)
+		gmM = append(gmM, r.GMModelSec)
+	}
+	// Modeled on the paper's platform, GraphABCD must beat GraphMat
+	// (paper headline: 2.0x geo-mean).
+	if g := geomeanRatio(gmM, abcdM); g < 1.0 {
+		t.Fatalf("modeled geomean speedup vs GraphMat = %.2fx, want >= 1", g)
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	rows, err := Fig6(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("want 7 rows, got %d", len(rows))
+	}
+	speedups := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		if r.AccelSec <= 0 || r.SoftSec <= 0 {
+			t.Fatalf("row %+v has empty model times", r)
+		}
+		speedups = append(speedups, r.Speedup)
+	}
+	g := metrics.Geomean(speedups)
+	// Paper: 1.2-9.2x, 3.4x average. The cost model is calibrated to that
+	// regime; accept a broad band.
+	if g < 1.2 || g > 9.5 {
+		t.Fatalf("hardware-acceleration geomean speedup %.2fx outside the paper's band", g)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	rows, err := Fig7(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("want 7 rows, got %d", len(rows))
+	}
+	var async, barrier, bsp []float64
+	for _, r := range rows {
+		if r.Async <= 0 || r.Barrier <= 0 || r.BSP <= 0 || r.AsyncHybrid <= 0 {
+			t.Fatalf("row %+v has empty times", r)
+		}
+		async = append(async, r.Async)
+		barrier = append(barrier, r.Barrier)
+		bsp = append(bsp, r.BSP)
+	}
+	// Async must beat Barrier (stall removal) and BSP (stalls+convergence).
+	if g := geomeanRatio(barrier, async); g < 1.05 {
+		t.Fatalf("barrier/async time ratio %.2f, want > 1", g)
+	}
+	if g := geomeanRatio(bsp, async); g < 1.1 {
+		t.Fatalf("bsp/async time ratio %.2f, want >> 1", g)
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	rows, err := Fig8(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 points, got %d", len(rows))
+	}
+	// Utilization falls as PEs are added (bandwidth starvation) and async
+	// sustains at least the utilization of barrier execution at scale.
+	if rows[0].AsyncUtil <= rows[len(rows)-1].AsyncUtil {
+		t.Fatalf("async utilization should fall with PE count: %.2f -> %.2f",
+			rows[0].AsyncUtil, rows[len(rows)-1].AsyncUtil)
+	}
+	var asyncAtScale, barrierAtScale float64
+	for _, r := range rows {
+		if r.NumPEs == 16 {
+			asyncAtScale, barrierAtScale = r.AsyncUtil, r.BarrierUtil
+		}
+	}
+	if asyncAtScale < barrierAtScale*0.95 {
+		t.Fatalf("async utilization (%.3f) should be >= barrier's (%.3f) at 16 PEs",
+			asyncAtScale, barrierAtScale)
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	traffic, utils, err := Fig9(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traffic) != 3 || len(utils) != 5 {
+		t.Fatalf("got %d traffic rows, %d util points", len(traffic), len(utils))
+	}
+	for _, r := range traffic {
+		// Reads dominate writes (|E| vs |V|).
+		if r.SeqReadBytes <= r.SeqWriteBytes {
+			t.Fatalf("%s/%s: seq reads (%d) must dominate writes (%d)",
+				r.App, r.Graph, r.SeqReadBytes, r.SeqWriteBytes)
+		}
+	}
+	// Bus utilization saturates with PE count: 16-PE run must be at least
+	// as utilized as the 1-PE run, and high in absolute terms.
+	if utils[len(utils)-1].BusUtilPct < utils[0].BusUtilPct {
+		t.Fatalf("bus utilization should not fall with PEs: %v", utils)
+	}
+	if utils[len(utils)-1].BusUtilPct < 60 {
+		t.Fatalf("bus utilization at 16 PEs = %.1f%%, want saturated", utils[len(utils)-1].BusUtilPct)
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	rows, err := Fig10(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pes, threads []Fig10Row
+	for _, r := range rows {
+		switch r.Vary {
+		case "pes":
+			pes = append(pes, r)
+		case "threads":
+			threads = append(threads, r)
+		}
+	}
+	if len(pes) != 5 || len(threads) != 5 {
+		t.Fatalf("got %d pes rows, %d thread rows", len(pes), len(threads))
+	}
+	// More PEs => faster (plain runs).
+	if pes[0].Plain <= pes[len(pes)-1].Plain {
+		t.Fatalf("plain time should fall with PE count: 1 PE %.4fs vs 16 PE %.4fs",
+			pes[0].Plain, pes[len(pes)-1].Plain)
+	}
+	// Hybrid flattens PE sensitivity: at 1 PE hybrid must win clearly.
+	if pes[0].Speedup < 1.1 {
+		t.Fatalf("hybrid speedup at 1 PE = %.2fx, want > 1.1x", pes[0].Speedup)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	// Table4's on-chip vs shared contrast is a property of realistic graph
+	// sizes; run it closer to the full analogs (it only builds partitions,
+	// no engine runs, so this stays fast).
+	opt := testOpt()
+	opt.Shrink = 1
+	reports, err := Table4(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("want 3 reports, got %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.TotalOnChipBytes <= 0 || r.SharedBufferBytes <= 0 {
+			t.Fatalf("report %+v empty", r)
+		}
+		// The headline contrast: on-chip streaming buffers are tiny
+		// relative to the shared host buffer holding the graph.
+		if r.TotalOnChipBytes >= r.SharedBufferBytes {
+			t.Fatalf("%s: on-chip %d should be well below shared %d",
+				r.Algorithm, r.TotalOnChipBytes, r.SharedBufferBytes)
+		}
+	}
+}

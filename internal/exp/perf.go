@@ -1,0 +1,437 @@
+package exp
+
+import (
+	"graphabcd/internal/accel"
+	"graphabcd/internal/asicmodel"
+	"graphabcd/internal/core"
+	"graphabcd/internal/graph"
+	"graphabcd/internal/graphmat"
+	"graphabcd/internal/metrics"
+	"graphabcd/internal/sched"
+)
+
+// cfEngineBudget and cfGraphMatBudget are the Fig. 5 operating points the
+// paper compares (GraphABCD at 20 iterations reaches better RMSE than
+// GraphMat at 60), reused by Table II's CF rows.
+const (
+	cfEngineBudget   = 20
+	cfGraphMatBudget = 60
+)
+
+// Table2Row is one row of Table II: execution time and throughput of
+// GraphABCD, GraphMat, and the projected Graphicionado ASIC.
+type Table2Row struct {
+	App   string
+	Graph string
+
+	// Measured wall times on the test host (both frameworks on the same
+	// CPU, so this reflects the executed-work ratio only).
+	ABCDSeconds float64 // best of {cyclic,priority} x {hybrid on,off}
+	GMSeconds   float64
+
+	// Modeled times on the paper's platform: GraphABCD on the 16-PE /
+	// 12.8 GB/s accelerator model, GraphMat on the host CPU sweep model.
+	// These carry the platform asymmetry the paper's Table II measures.
+	ABCDModelSec float64
+	GMModelSec   float64
+
+	ASICSeconds  float64 // Graphicionado projection (paper reports LJ/TW/NF)
+	ABCDMTEPS    float64
+	GMMTEPS      float64
+	ABCDBestConf string
+}
+
+// Table2 reproduces the headline comparison. Paper's claims: GraphABCD
+// beats GraphMat 2.1-2.5x on PR and 2.5-3.3x on CF, ties or loses
+// slightly on SSSP (0.76-1.14x), for a 2.0x geo-mean; GraphMat's raw
+// MTEPS can exceed GraphABCD's (its host has 58 GB/s vs the accelerator's
+// 12.8 GB/s) — the win comes from convergence rate; and GraphABCD beats
+// the bandwidth-normalized Graphicionado by 4.3x/2.3x/4.8x on PR/SSSP/CF.
+//
+// In this CPU-only reproduction both systems run on the same host, so the
+// executed-work ratio (epochs) drives the time ratio; the bandwidth
+// asymmetry of the paper is reproduced by Fig. 6's cost model instead.
+func Table2(opt Options) ([]Table2Row, error) {
+	var rows []Table2Row
+	tab := metrics.NewTable(opt.out(), "app", "graph", "abcd-wall", "gm-wall",
+		"abcd-model", "gm-model", "asic-model", "abcd-MTEPS", "gm-MTEPS", "best-conf")
+	asic := asicmodel.DefaultGraphicionado()
+
+	addRow := func(row Table2Row) {
+		rows = append(rows, row)
+		tab.Row(row.App, row.Graph,
+			metrics.FormatDuration(row.ABCDSeconds), metrics.FormatDuration(row.GMSeconds),
+			metrics.FormatDuration(row.ABCDModelSec), metrics.FormatDuration(row.GMModelSec),
+			metrics.FormatDuration(row.ASICSeconds), row.ABCDMTEPS, row.GMMTEPS, row.ABCDBestConf)
+	}
+
+	for _, app := range []string{"pr", "sssp"} {
+		for _, gname := range []string{"WT", "PS", "LJ", "TW"} {
+			g, err := opt.socialGraph(gname, app == "sssp")
+			if err != nil {
+				return nil, err
+			}
+			best, bestConf, bestMTEPS, err := bestEngineSocial(app, g, opt)
+			if err != nil {
+				return nil, err
+			}
+			abcdModel, err := modelSocial(app, g, opt)
+			if err != nil {
+				return nil, err
+			}
+			gmStats, err := graphMatSocialStats(app, g, opt)
+			if err != nil {
+				return nil, err
+			}
+			addRow(Table2Row{
+				App: app, Graph: gname,
+				ABCDSeconds:  best,
+				GMSeconds:    gmStats.WallTime.Seconds(),
+				ABCDModelSec: abcdModel,
+				GMModelSec:   gmModelSeconds(app, gmStats.EdgesTraversed),
+				ASICSeconds:  asic.ProjectRuntime(gmStats.EdgesTraversed).Seconds(),
+				ABCDMTEPS:    bestMTEPS,
+				GMMTEPS:      gmStats.MTEPS(),
+				ABCDBestConf: bestConf,
+			})
+		}
+	}
+
+	params := cfParams()
+	for _, gname := range []string{"SAC", "MOL", "NF"} {
+		rg, err := opt.ratingGraph(gname)
+		if err != nil {
+			return nil, err
+		}
+		best, bestConf, bestMTEPS, err := bestEngineCF(rg.Graph, opt)
+		if err != nil {
+			return nil, err
+		}
+		abcdModel, err := modelCF(rg.Graph, opt)
+		if err != nil {
+			return nil, err
+		}
+		gmProg := graphmat.NewCF(graphmat.CF{Rank: params.Rank, LearnRate: params.LearnRate, Lambda: params.Lambda, Seed: params.Seed})
+		gmRes, err := graphmat.Run[[]float32, graphmat.CFMsg](rg.Graph, gmProg,
+			graphmat.Config{Threads: opt.threads(), MaxIters: cfGraphMatBudget})
+		if err != nil {
+			return nil, err
+		}
+		addRow(Table2Row{
+			App: "cf", Graph: gname,
+			ABCDSeconds:  best,
+			GMSeconds:    gmRes.Stats.WallTime.Seconds(),
+			ABCDModelSec: abcdModel,
+			GMModelSec:   gmModelSeconds("cf", gmRes.Stats.EdgesTraversed),
+			ASICSeconds:  asic.ProjectRuntime(gmRes.Stats.EdgesTraversed).Seconds(),
+			ABCDMTEPS:    bestMTEPS,
+			GMMTEPS:      gmRes.Stats.MTEPS(),
+			ABCDBestConf: bestConf,
+		})
+	}
+
+	// Geo-mean speedups over GraphMat; the modeled ratio carries the
+	// paper's platform asymmetry and is its headline 2.0x.
+	var abcdW, gmW, abcdM, gmM []float64
+	for _, r := range rows {
+		abcdW = append(abcdW, r.ABCDSeconds)
+		gmW = append(gmW, r.GMSeconds)
+		abcdM = append(abcdM, r.ABCDModelSec)
+		gmM = append(gmM, r.GMModelSec)
+	}
+	tab.Row("geomean-speedup", "", fmtf("wall %.2fx", geomeanRatio(gmW, abcdW)), "",
+		fmtf("model %.2fx", geomeanRatio(gmM, abcdM)), "", "", "", "", "")
+	return rows, tab.Flush()
+}
+
+// modelSocial runs the app once with the HARPv2 model attached and returns
+// the modeled makespan in seconds.
+func modelSocial(app string, g *graph.Graph, opt Options) (float64, error) {
+	sim, err := newSim(16, 14)
+	if err != nil {
+		return 0, err
+	}
+	cfg := opt.engineConfig(defaultBlock(g), core.Async, sched.Cyclic, false, appEps(app, g), 0)
+	cfg.NumPEs, cfg.NumScatter = 16, 14
+	cfg.Sim = sim
+	st, err := runSocialApp(app, g, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return st.SimTimeNs / 1e9, nil
+}
+
+// modelCF is modelSocial for collaborative filtering.
+func modelCF(g *graph.Graph, opt Options) (float64, error) {
+	sim, err := newSim(16, 14)
+	if err != nil {
+		return 0, err
+	}
+	cfg := opt.engineConfig(defaultBlock(g), core.Async, sched.Cyclic, false, 1e-9, cfEngineBudget)
+	cfg.NumPEs, cfg.NumScatter = 16, 14
+	cfg.Sim = sim
+	res, err := core.Run[[]float32, []float64](g, cfParams(), cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Stats.SimTimeNs / 1e9, nil
+}
+
+// gmModelSeconds models GraphMat's runtime on the paper's 14-thread host.
+// The per-edge cost depends on the workload's access pattern, calibrated
+// from the paper's own Table II MTES column: PR runs dense sequential
+// SpMV sweeps (CPUSweepNsPerEdge); SSSP's active-filtered sweeps gather
+// from random sources, the same cost class as the software random gather
+// (CPUGatherNsPerEdge); CF moves rank-8 factor payloads per edge, which
+// the paper's measurements put at ~2.6x the PR per-edge cost.
+func gmModelSeconds(app string, edgesTraversed int64) float64 {
+	hw := accel.DefaultHARPv2()
+	var perEdge float64
+	switch app {
+	case "sssp":
+		perEdge = hw.CPUGatherNsPerEdge
+	case "cf":
+		perEdge = 2.6 * hw.CPUSweepNsPerEdge
+	default:
+		perEdge = hw.CPUSweepNsPerEdge
+	}
+	return float64(edgesTraversed) * perEdge / float64(hw.CPUThreads) / 1e9
+}
+
+// bestEngineSocial runs the four GraphABCD configurations (policy x
+// hybrid) and returns the best wall time, its label, and its MTEPS.
+func bestEngineSocial(app string, g *graph.Graph, opt Options) (float64, string, float64, error) {
+	best, conf, mteps := 0.0, "", 0.0
+	for _, policy := range []sched.Policy{sched.Cyclic, sched.Priority} {
+		for _, hybrid := range []bool{false, true} {
+			cfg := opt.engineConfig(defaultBlock(g), core.Async, policy, hybrid, appEps(app, g), 0)
+			st, err := runSocialApp(app, g, cfg)
+			if err != nil {
+				return 0, "", 0, err
+			}
+			if sec := st.WallTime.Seconds(); conf == "" || sec < best {
+				best, mteps = sec, st.MTEPS()
+				conf = policy.String()
+				if hybrid {
+					conf += "+hybrid"
+				}
+			}
+		}
+	}
+	return best, conf, mteps, nil
+}
+
+// bestEngineCF is bestEngineSocial for collaborative filtering.
+func bestEngineCF(g *graph.Graph, opt Options) (float64, string, float64, error) {
+	params := cfParams()
+	best, conf, mteps := 0.0, "", 0.0
+	for _, policy := range []sched.Policy{sched.Cyclic, sched.Priority} {
+		for _, hybrid := range []bool{false, true} {
+			cfg := opt.engineConfig(defaultBlock(g), core.Async, policy, hybrid, 1e-9, cfEngineBudget)
+			res, err := core.Run[[]float32, []float64](g, params, cfg)
+			if err != nil {
+				return 0, "", 0, err
+			}
+			if sec := res.Stats.WallTime.Seconds(); conf == "" || sec < best {
+				best, mteps = sec, res.Stats.MTEPS()
+				conf = policy.String()
+				if hybrid {
+					conf += "+hybrid"
+				}
+			}
+		}
+	}
+	return best, conf, mteps, nil
+}
+
+// graphMatSocialStats runs GraphMat's pr or sssp and returns full stats.
+func graphMatSocialStats(app string, g *graph.Graph, opt Options) (graphmat.Stats, error) {
+	cfg := graphmat.Config{Threads: opt.threads()}
+	switch app {
+	case "pr":
+		res, err := graphmat.Run[float64, float64](g, graphmat.PageRank{Eps: prEps(g)}, cfg)
+		if err != nil {
+			return graphmat.Stats{}, err
+		}
+		return res.Stats, nil
+	case "sssp":
+		res, err := graphmat.Run[float64, float64](g, graphmat.SSSP{Source: pickSource(g)}, cfg)
+		if err != nil {
+			return graphmat.Stats{}, err
+		}
+		return res.Stats, nil
+	}
+	return graphmat.Stats{}, fmtErr("unknown app %q", app)
+}
+
+// Fig6Row compares accelerator-modeled GraphABCD against the all-software
+// cost model for the same executed work.
+type Fig6Row struct {
+	App        string
+	Graph      string
+	AccelSec   float64 // accelerator-model makespan
+	SoftSec    float64 // software cost model on the same work
+	Speedup    float64 // SoftSec / AccelSec
+	BusUtilPct float64
+}
+
+// Fig6 reproduces the hardware-acceleration study. The paper measures
+// FPGA-accelerated GraphABCD 1.2-9.2x (3.4x average) faster than the
+// fused software GraphABCD. Both sides here come from the same calibrated
+// cost model (Sec. 2 of DESIGN.md): the accelerated run streams edges at
+// the 12.8 GB/s bus, the software run pays the host's random-access
+// gather cost on the same work.
+func Fig6(opt Options) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	tab := metrics.NewTable(opt.out(), "app", "graph", "accel(s)", "soft(s)", "speedup", "bus-util")
+	run := func(app, gname string, g *graph.Graph, prog func(cfg core.Config) (core.Stats, error)) error {
+		sim, err := newSim(16, 14)
+		if err != nil {
+			return err
+		}
+		cfg := opt.engineConfig(defaultBlock(g), core.Async, sched.Cyclic, false, 0, 0)
+		cfg.NumPEs, cfg.NumScatter = 16, 14 // drive the full modeled platform
+		cfg.Sim = sim
+		st, err := prog(cfg)
+		if err != nil {
+			return err
+		}
+		hw := sim.Config()
+		accelSec := st.SimTimeNs / 1e9
+		softSec := (float64(st.EdgesTraversed)*hw.CPUGatherNsPerEdge +
+			float64(st.ScatterWrites)*hw.ScatterNsPerEdge) / float64(hw.CPUThreads) / 1e9
+		row := Fig6Row{App: app, Graph: gname, AccelSec: accelSec, SoftSec: softSec,
+			Speedup: softSec / accelSec, BusUtilPct: 100 * sim.BusUtilization()}
+		rows = append(rows, row)
+		tab.Row(row.App, row.Graph, metrics.FormatDuration(row.AccelSec),
+			metrics.FormatDuration(row.SoftSec), fmtf("%.2fx", row.Speedup), fmtf("%.0f%%", row.BusUtilPct))
+		return nil
+	}
+	for _, app := range []string{"pr", "sssp"} {
+		for _, gname := range []string{"WT", "PS", "LJ"} {
+			g, err := opt.socialGraph(gname, app == "sssp")
+			if err != nil {
+				return nil, err
+			}
+			app := app
+			if err := run(app, gname, g, func(cfg core.Config) (core.Stats, error) {
+				cfg.Epsilon = appEps(app, g)
+				return runSocialApp(app, g, cfg)
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rg, err := opt.ratingGraph("NF")
+	if err != nil {
+		return nil, err
+	}
+	if err := run("cf", "NF", rg.Graph, func(cfg core.Config) (core.Stats, error) {
+		cfg.Epsilon = 1e-9
+		cfg.MaxEpochs = cfEngineBudget
+		res, err := core.Run[[]float32, []float64](rg.Graph, cfParams(), cfg)
+		if err != nil {
+			return core.Stats{}, err
+		}
+		return res.Stats, nil
+	}); err != nil {
+		return nil, err
+	}
+	return rows, tab.Flush()
+}
+
+// Fig7Row is one application/graph group of the speedup breakdown. Times
+// are the accelerator model's makespans on the 16-PE / 14-thread HARPv2
+// configuration, so the synchronization stalls of Barrier/BSP appear even
+// on a single-core test host.
+type Fig7Row struct {
+	App   string
+	Graph string
+	// Modeled seconds per execution mode.
+	Async       float64
+	AsyncHybrid float64
+	Barrier     float64
+	BSP         float64
+	// Epoch counts, to separate convergence effects from stall effects.
+	AsyncEpochs   float64
+	BarrierEpochs float64
+	BSPEpochs     float64
+}
+
+// Fig7 reproduces the asynchrony ablation. Paper's claims: Async beats
+// Barrier 1.9-4.2x (pure synchronization overhead — their convergence
+// rates are similar); BSP is 1.4-15.2x slower than Async, mostly from the
+// |V| block size's worse convergence; hybrid execution adds up to 66%
+// (24% average).
+func Fig7(opt Options) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	tab := metrics.NewTable(opt.out(), "app", "graph", "async(s)", "hybrid(s)", "barrier(s)", "bsp(s)", "async-ep", "barrier-ep", "bsp-ep")
+	add := func(app, gname string, run func(cfg core.Config) (core.Stats, error), eps float64, budget float64) error {
+		mk := func(mode core.Mode, hybrid bool) (core.Stats, error) {
+			sim, err := newSim(16, 14)
+			if err != nil {
+				return core.Stats{}, err
+			}
+			cfg := opt.engineConfig(0, mode, sched.Cyclic, hybrid, eps, budget)
+			cfg.NumPEs, cfg.NumScatter = 16, 14
+			cfg.Sim = sim
+			if mode != core.BSP {
+				cfg.BlockSize = 1024 // fixed mid-range block, as in the paper
+			}
+			return run(cfg)
+		}
+		async, err := mk(core.Async, false)
+		if err != nil {
+			return err
+		}
+		hybrid, err := mk(core.Async, true)
+		if err != nil {
+			return err
+		}
+		barrier, err := mk(core.Barrier, false)
+		if err != nil {
+			return err
+		}
+		bsp, err := mk(core.BSP, false)
+		if err != nil {
+			return err
+		}
+		row := Fig7Row{App: app, Graph: gname,
+			Async: async.SimTimeNs / 1e9, AsyncHybrid: hybrid.SimTimeNs / 1e9,
+			Barrier: barrier.SimTimeNs / 1e9, BSP: bsp.SimTimeNs / 1e9,
+			AsyncEpochs: async.Epochs, BarrierEpochs: barrier.Epochs, BSPEpochs: bsp.Epochs}
+		rows = append(rows, row)
+		tab.Row(app, gname, metrics.FormatDuration(row.Async), metrics.FormatDuration(row.AsyncHybrid),
+			metrics.FormatDuration(row.Barrier), metrics.FormatDuration(row.BSP),
+			row.AsyncEpochs, row.BarrierEpochs, row.BSPEpochs)
+		return nil
+	}
+	for _, app := range []string{"pr", "sssp"} {
+		for _, gname := range []string{"WT", "PS", "LJ"} {
+			g, err := opt.socialGraph(gname, app == "sssp")
+			if err != nil {
+				return nil, err
+			}
+			app := app
+			if err := add(app, gname, func(cfg core.Config) (core.Stats, error) {
+				return runSocialApp(app, g, cfg)
+			}, appEps(app, g), 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rg, err := opt.ratingGraph("SAC")
+	if err != nil {
+		return nil, err
+	}
+	if err := add("cf", "SAC", func(cfg core.Config) (core.Stats, error) {
+		res, err := core.Run[[]float32, []float64](rg.Graph, cfParams(), cfg)
+		if err != nil {
+			return core.Stats{}, err
+		}
+		return res.Stats, nil
+	}, 1e-9, cfEngineBudget); err != nil {
+		return nil, err
+	}
+	return rows, tab.Flush()
+}

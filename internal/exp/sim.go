@@ -1,0 +1,294 @@
+package exp
+
+import (
+	"graphabcd/internal/accel"
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/core"
+	"graphabcd/internal/gen"
+	"graphabcd/internal/graph"
+	"graphabcd/internal/metrics"
+	"graphabcd/internal/sched"
+)
+
+// Table1Row describes one generated dataset analog against its paper
+// original.
+type Table1Row struct {
+	Name     string
+	Kind     string
+	Vertices int
+	Edges    int
+	Paper    string
+}
+
+// Table1 generates every catalog analog at the configured shrink and
+// reports its size next to the paper's Table I original.
+func Table1(opt Options) ([]Table1Row, error) {
+	var rows []Table1Row
+	tab := metrics.NewTable(opt.out(), "name", "kind", "vertices", "edges", "paper-original")
+	for _, d := range gen.Catalog {
+		var row Table1Row
+		switch d.Kind {
+		case gen.Social:
+			g, err := d.BuildSocial(opt.Shrink, false)
+			if err != nil {
+				return nil, err
+			}
+			row = Table1Row{Name: d.Name, Kind: "social", Vertices: g.NumVertices(), Edges: g.NumEdges(), Paper: d.Paper}
+		case gen.RatingKind:
+			rg, err := d.BuildRating(opt.Shrink)
+			if err != nil {
+				return nil, err
+			}
+			row = Table1Row{Name: d.Name, Kind: "rating", Vertices: rg.Graph.NumVertices(), Edges: rg.Graph.NumEdges(), Paper: d.Paper}
+		}
+		rows = append(rows, row)
+		tab.Row(row.Name, row.Kind, row.Vertices, row.Edges, row.Paper)
+	}
+	return rows, tab.Flush()
+}
+
+// Fig8Row is one point of the PE utilization study.
+type Fig8Row struct {
+	NumPEs      int
+	AsyncUtil   float64 // mean PE busy fraction, async engine
+	BarrierUtil float64 // same under the Barrier engine
+}
+
+// Fig8 reproduces the PE utilization figure on the LJ analog (PageRank):
+// utilization vs PE count for async and synchronized execution. Paper's
+// claims: async improves PE utilization 1.6-2.4x over synchronized
+// execution, and utilization drops sharply past 8 PEs as the 12.8 GB/s
+// bus saturates and PEs starve.
+func Fig8(opt Options) ([]Fig8Row, error) {
+	g, err := opt.socialGraph("LJ", false)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	tab := metrics.NewTable(opt.out(), "pes", "async-util", "barrier-util")
+	for _, pes := range []int{1, 2, 4, 8, 16} {
+		util := func(mode core.Mode) (float64, error) {
+			sim, err := newSim(pes, 14)
+			if err != nil {
+				return 0, err
+			}
+			cfg := opt.engineConfig(defaultBlock(g), mode, sched.Cyclic, false, prEps(g), 0)
+			cfg.NumPEs, cfg.NumScatter = pes, 14
+			cfg.Sim = sim
+			if _, err := core.Run[float64, float64](g, bcd.PageRank{}, cfg); err != nil {
+				return 0, err
+			}
+			return sim.PEUtilization(), nil
+		}
+		async, err := util(core.Async)
+		if err != nil {
+			return nil, err
+		}
+		barrier, err := util(core.Barrier)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{NumPEs: pes, AsyncUtil: async, BarrierUtil: barrier}
+		rows = append(rows, row)
+		tab.Row(pes, fmtf("%.1f%%", 100*async), fmtf("%.1f%%", 100*barrier))
+	}
+	return rows, tab.Flush()
+}
+
+// Fig9Traffic is the per-application traffic breakdown of Fig. 9(a).
+type Fig9Traffic struct {
+	App           string
+	Graph         string
+	SeqReadBytes  int64 // accelerator edge-block streams (|E|-proportional)
+	SeqWriteBytes int64 // accelerator vertex write-backs (|V|-proportional)
+	RandWriteB    int64 // host-side SCATTER writes (not on the bus)
+	BusUtilPct    float64
+}
+
+// Fig9Util is one point of Fig. 9(b): bus utilization vs PE count.
+type Fig9Util struct {
+	NumPEs     int
+	BusUtilPct float64
+}
+
+// Fig9 reproduces the memory-system study. Paper's claims: all
+// CPU-accelerator traffic is sequential with reads dominating (|E| reads
+// vs |V| writes), bus utilization reaches 98%/99%/80% for PR/SSSP/CF, and
+// utilization saturates at ~8 PEs (the system is bandwidth-bound).
+func Fig9(opt Options) ([]Fig9Traffic, []Fig9Util, error) {
+	var traffic []Fig9Traffic
+	tab := metrics.NewTable(opt.out(), "app", "graph", "seq-read", "seq-write", "rand-write(host)", "bus-util")
+	runOne := func(app, gname string, g *graph.Graph, exec func(cfg core.Config) error) error {
+		sim, err := newSim(16, 14)
+		if err != nil {
+			return err
+		}
+		cfg := opt.engineConfig(defaultBlock(g), core.Async, sched.Cyclic, false, 0, 0)
+		cfg.NumPEs, cfg.NumScatter = 16, 14
+		cfg.Sim = sim
+		if err := exec(cfg); err != nil {
+			return err
+		}
+		row := Fig9Traffic{App: app, Graph: gname,
+			SeqReadBytes:  sim.TrafficBytes(accel.SeqRead),
+			SeqWriteBytes: sim.TrafficBytes(accel.SeqWrite),
+			RandWriteB:    sim.TrafficBytes(accel.RandWrite),
+			BusUtilPct:    100 * sim.BusUtilization()}
+		traffic = append(traffic, row)
+		tab.Row(app, gname, row.SeqReadBytes, row.SeqWriteBytes, row.RandWriteB, fmtf("%.1f%%", row.BusUtilPct))
+		return nil
+	}
+	for _, app := range []string{"pr", "sssp"} {
+		g, err := opt.socialGraph("LJ", app == "sssp")
+		if err != nil {
+			return nil, nil, err
+		}
+		app := app
+		if err := runOne(app, "LJ", g, func(cfg core.Config) error {
+			cfg.Epsilon = appEps(app, g)
+			_, err := runSocialApp(app, g, cfg)
+			return err
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	rg, err := opt.ratingGraph("NF")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := runOne("cf", "NF", rg.Graph, func(cfg core.Config) error {
+		cfg.Epsilon = 1e-9
+		cfg.MaxEpochs = cfEngineBudget
+		_, err := core.Run[[]float32, []float64](rg.Graph, cfParams(), cfg)
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// (b) bus utilization vs PE count, PR on LJ, 14 CPU threads fixed.
+	g, err := opt.socialGraph("LJ", false)
+	if err != nil {
+		return nil, nil, err
+	}
+	var utils []Fig9Util
+	tab2 := metrics.NewTable(opt.out(), "pes", "bus-util")
+	for _, pes := range []int{1, 2, 4, 8, 16} {
+		sim, err := newSim(pes, 14)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := opt.engineConfig(defaultBlock(g), core.Async, sched.Cyclic, false, prEps(g), 0)
+		cfg.NumPEs, cfg.NumScatter = pes, 14
+		cfg.Sim = sim
+		if _, err := core.Run[float64, float64](g, bcd.PageRank{}, cfg); err != nil {
+			return nil, nil, err
+		}
+		u := Fig9Util{NumPEs: pes, BusUtilPct: 100 * sim.BusUtilization()}
+		utils = append(utils, u)
+		tab2.Row(pes, fmtf("%.1f%%", u.BusUtilPct))
+	}
+	if err := tab.Flush(); err != nil {
+		return nil, nil, err
+	}
+	return traffic, utils, tab2.Flush()
+}
+
+// Fig10Row is one point of the scalability study on LJ.
+type Fig10Row struct {
+	Vary    string // "pes" or "threads"
+	Count   int
+	Plain   float64 // modeled seconds without hybrid execution
+	Hybrid  float64 // modeled seconds with hybrid execution
+	Speedup float64 // Plain / Hybrid
+}
+
+// Fig10 reproduces the scalability study on LJ (PageRank). Paper's
+// claims: execution time falls linearly with PE count until ~8 PEs (then
+// bandwidth-bound); without hybrid execution the system is much more
+// sensitive to PE count than to CPU thread count; hybrid execution
+// flattens the PE-count sensitivity because CPU threads back-fill as
+// weaker PEs.
+func Fig10(opt Options) ([]Fig10Row, error) {
+	g, err := opt.socialGraph("LJ", false)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig10Row
+	tab := metrics.NewTable(opt.out(), "vary", "count", "plain(s)", "hybrid(s)", "hybrid-speedup")
+	measure := func(pes, threads int, hybrid bool) (float64, error) {
+		sim, err := newSim(pes, threads)
+		if err != nil {
+			return 0, err
+		}
+		cfg := opt.engineConfig(defaultBlock(g), core.Async, sched.Cyclic, hybrid, prEps(g), 0)
+		cfg.NumPEs, cfg.NumScatter = pes, threads
+		cfg.Sim = sim
+		res, err := core.Run[float64, float64](g, bcd.PageRank{}, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.SimTimeNs / 1e9, nil
+	}
+	add := func(vary string, count, pes, threads int) error {
+		plain, err := measure(pes, threads, false)
+		if err != nil {
+			return err
+		}
+		hybrid, err := measure(pes, threads, true)
+		if err != nil {
+			return err
+		}
+		row := Fig10Row{Vary: vary, Count: count, Plain: plain, Hybrid: hybrid, Speedup: plain / hybrid}
+		rows = append(rows, row)
+		tab.Row(vary, count, metrics.FormatDuration(plain), metrics.FormatDuration(hybrid), fmtf("%.2fx", row.Speedup))
+		return nil
+	}
+	for _, pes := range []int{1, 2, 4, 8, 16} {
+		if err := add("pes", pes, pes, 14); err != nil {
+			return nil, err
+		}
+	}
+	for _, threads := range []int{1, 2, 4, 8, 14} {
+		if err := add("threads", threads, 16, threads); err != nil {
+			return nil, err
+		}
+	}
+	return rows, tab.Flush()
+}
+
+// Table4 reports the accelerator-model resource footprint per algorithm —
+// the substitute for the paper's FPGA utilization table (see
+// accel.ResourceReport). Paper context: GraphABCD needs only 2.69 MB of
+// FPGA BRAM plus 35 MB of shared LLC because pull-push streams edge
+// blocks, vs Graphicionado's 64-256 MB vertex scratchpad.
+func Table4(opt Options) ([]accel.ResourceReport, error) {
+	var reports []accel.ResourceReport
+	tab := metrics.NewTable(opt.out(), "report")
+	addSocial := func(app string, weighted bool, valueWords int) error {
+		g, err := opt.socialGraph("LJ", weighted)
+		if err != nil {
+			return err
+		}
+		r := accel.Resources(app, 16, defaultBlock(g),
+			int64(valueWords)*8, int64(valueWords)*8+4, g.NumVertices(), int64(g.NumEdges()))
+		reports = append(reports, r)
+		tab.Row(r.String())
+		return nil
+	}
+	if err := addSocial("pagerank", false, 1); err != nil {
+		return nil, err
+	}
+	if err := addSocial("sssp", true, 1); err != nil {
+		return nil, err
+	}
+	rg, err := opt.ratingGraph("NF")
+	if err != nil {
+		return nil, err
+	}
+	words := int64(cfParams().Codec().Words())
+	r := accel.Resources("cf", 16, defaultBlock(rg.Graph), words*8, words*8+4,
+		rg.Graph.NumVertices(), int64(rg.Graph.NumEdges()))
+	reports = append(reports, r)
+	tab.Row(r.String())
+	return reports, tab.Flush()
+}

@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"graphabcd/internal/graph"
+)
+
+// RatingConfig parameterizes a bipartite user-item rating graph with a
+// planted low-rank structure, the synthetic analog of the SAC18 /
+// MovieLens / Netflix datasets used by the paper's CF experiments.
+type RatingConfig struct {
+	Users, Items int
+	Ratings      int     // number of (user,item) ratings
+	Rank         int     // rank of the planted factor model
+	Noise        float64 // std-dev of additive rating noise
+	Skew         float64 // item-popularity skew exponent (0 = uniform)
+	Seed         uint64
+}
+
+// DefaultRating returns a MovieLens-like configuration scaled to the given
+// sizes: rank-8 planted factors, mild noise, zipf-ish item popularity.
+func DefaultRating(users, items, ratings int, seed uint64) RatingConfig {
+	return RatingConfig{
+		Users: users, Items: items, Ratings: ratings,
+		Rank: 8, Noise: 0.25, Skew: 0.8, Seed: seed,
+	}
+}
+
+// RatingGraph is a bipartite graph plus CF metadata. Vertices [0, Users)
+// are users; [Users, Users+Items) are items. Every rating contributes two
+// directed edges (user->item and item->user) carrying the rating as
+// weight, so the pull-push GATHER of either side streams its ratings
+// sequentially.
+type RatingGraph struct {
+	Graph        *graph.Graph
+	Users, Items int
+	NumRatings   int // rating count (Graph has 2x edges)
+}
+
+// ItemVertex converts an item index to its vertex id.
+func (rg *RatingGraph) ItemVertex(item int) uint32 { return uint32(rg.Users + item) }
+
+// IsUser reports whether vertex v is on the user side.
+func (rg *RatingGraph) IsUser(v uint32) bool { return int(v) < rg.Users }
+
+// Rating generates the bipartite rating graph. Ratings are
+// clamp(dot(u_p, v_q) + noise, 1, 5) for planted gaussian factors u, v.
+func Rating(cfg RatingConfig) (*RatingGraph, error) {
+	if cfg.Users <= 0 || cfg.Items <= 0 {
+		return nil, fmt.Errorf("gen: rating graph needs users, items > 0 (got %d, %d)", cfg.Users, cfg.Items)
+	}
+	if cfg.Ratings < 0 || cfg.Rank <= 0 {
+		return nil, fmt.Errorf("gen: rating graph needs ratings >= 0, rank > 0 (got %d, %d)", cfg.Ratings, cfg.Rank)
+	}
+	r := newRNG(cfg.Seed)
+
+	// Planted factors, scaled so dot products land around the 1-5 range.
+	scale := math.Sqrt(3.0 / float64(cfg.Rank))
+	uf := make([][]float64, cfg.Users)
+	vf := make([][]float64, cfg.Items)
+	for p := range uf {
+		uf[p] = factor(r, cfg.Rank, scale)
+	}
+	for q := range vf {
+		vf[q] = factor(r, cfg.Rank, scale)
+	}
+
+	// Item popularity: index^-skew sampling via cumulative weights.
+	cum := make([]float64, cfg.Items+1)
+	for q := 0; q < cfg.Items; q++ {
+		cum[q+1] = cum[q] + math.Pow(float64(q+1), -cfg.Skew)
+	}
+	pickItem := func() int {
+		x := r.float64() * cum[cfg.Items]
+		lo, hi := 0, cfg.Items
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if cum[mid] <= x {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	n := cfg.Users + cfg.Items
+	edges := make([]graph.Edge, 0, 2*cfg.Ratings)
+	for i := 0; i < cfg.Ratings; i++ {
+		p := r.intn(cfg.Users)
+		q := pickItem()
+		dot := 0.0
+		for k := 0; k < cfg.Rank; k++ {
+			dot += uf[p][k] * vf[q][k]
+		}
+		rating := 3 + dot + cfg.Noise*r.norm()
+		if rating < 1 {
+			rating = 1
+		}
+		if rating > 5 {
+			rating = 5
+		}
+		u, it := uint32(p), uint32(cfg.Users+q)
+		w := float32(rating)
+		edges = append(edges,
+			graph.Edge{Src: u, Dst: it, Weight: w},
+			graph.Edge{Src: it, Dst: u, Weight: w},
+		)
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &RatingGraph{Graph: g, Users: cfg.Users, Items: cfg.Items, NumRatings: cfg.Ratings}, nil
+}
+
+func factor(r *rng, rank int, scale float64) []float64 {
+	f := make([]float64, rank)
+	for k := range f {
+		f[k] = scale * r.norm()
+	}
+	return f
+}

@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"graphabcd/internal/graph"
+)
+
+// Dataset describes one synthetic analog of a Table-I dataset. Social
+// graphs are R-MAT; rating datasets are planted-factor bipartite graphs.
+// Sizes are scaled down from the paper (documented per entry) so the whole
+// evaluation runs on a laptop; vertex:edge ratios are preserved.
+type Dataset struct {
+	Name  string // short code used by the paper (WT, PS, LJ, TW, SAC, MOL, NF)
+	Full  string // descriptive name
+	Kind  Kind
+	Paper string // the paper's original size, for reporting
+
+	scale      int // R-MAT scale at shrink=1
+	edgeFactor int
+	maxWeight  int // weighted variant for SSSP
+	users      int // bipartite sizes at shrink=1
+	items      int
+	ratings    int
+}
+
+// Kind distinguishes social graphs from rating bipartite graphs.
+type Kind int
+
+const (
+	// Social datasets build directed R-MAT graphs (PR / SSSP / BFS / CC).
+	Social Kind = iota
+	// RatingKind datasets build bipartite graphs (Collaborative Filtering).
+	RatingKind
+)
+
+// Catalog lists the seven Table-I analogs in the paper's order.
+var Catalog = []Dataset{
+	{Name: "WT", Full: "wikipedia-talk analog", Kind: Social, Paper: "2.39M v, 5.02M e",
+		scale: 15, edgeFactor: 2, maxWeight: 64},
+	{Name: "PS", Full: "pokec analog", Kind: Social, Paper: "1.63M v, 30.62M e",
+		scale: 14, edgeFactor: 19, maxWeight: 64},
+	{Name: "LJ", Full: "livejournal analog", Kind: Social, Paper: "4.85M v, 68.99M e",
+		scale: 15, edgeFactor: 14, maxWeight: 64},
+	{Name: "TW", Full: "twitter analog", Kind: Social, Paper: "41.65M v, 1.47B e",
+		scale: 16, edgeFactor: 35, maxWeight: 64},
+	{Name: "SAC", Full: "sac18 analog", Kind: RatingKind, Paper: "105k users, 49k movies, 10.00M ratings",
+		users: 3300, items: 1550, ratings: 312000},
+	{Name: "MOL", Full: "movielens analog", Kind: RatingKind, Paper: "283k users, 54k movies, 27.75M ratings",
+		users: 4400, items: 850, ratings: 434000},
+	{Name: "NF", Full: "netflix analog", Kind: RatingKind, Paper: "480k users, 17k movies, 100.48M ratings",
+		users: 7500, items: 270, ratings: 1570000},
+}
+
+// Lookup returns the catalog entry with the given short name.
+func Lookup(name string) (Dataset, error) {
+	for _, d := range Catalog {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	names := make([]string, len(Catalog))
+	for i, d := range Catalog {
+		names[i] = d.Name
+	}
+	sort.Strings(names)
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q (have %v)", name, names)
+}
+
+// BuildSocial generates the social graph analog, halving the R-MAT scale
+// shrink times (shrink 0 = full analog size). Weighted selects the
+// SSSP variant with integer weights.
+func (d Dataset) BuildSocial(shrink int, weighted bool) (*graph.Graph, error) {
+	if d.Kind != Social {
+		return nil, fmt.Errorf("gen: dataset %s is not a social graph", d.Name)
+	}
+	scale := d.scale - shrink
+	if scale < 4 {
+		scale = 4
+	}
+	cfg := DefaultRMAT(scale, d.edgeFactor, seedFor(d.Name))
+	if weighted {
+		cfg.MaxWeight = d.maxWeight
+	}
+	return RMAT(cfg)
+}
+
+// BuildRating generates the bipartite rating analog, shrinking all three
+// dimensions by 2^shrink.
+func (d Dataset) BuildRating(shrink int) (*RatingGraph, error) {
+	if d.Kind != RatingKind {
+		return nil, fmt.Errorf("gen: dataset %s is not a rating graph", d.Name)
+	}
+	div := 1 << shrink
+	cfg := DefaultRating(max(d.users/div, 16), max(d.items/div, 8), max(d.ratings/div, 64), seedFor(d.Name))
+	return Rating(cfg)
+}
+
+func seedFor(name string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,272 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := DefaultRMAT(8, 4, 42)
+	g1, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same config produced different sizes")
+	}
+	a, b := g1.Edges(), g2.Edges()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must change the graph.
+	cfg.Seed = 43
+	g3, _ := RMAT(cfg)
+	c := g3.Edges()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATSizesAndSkew(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(10, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1024 || g.NumEdges() != 8192 {
+		t.Fatalf("got V=%d E=%d, want 1024, 8192", g.NumVertices(), g.NumEdges())
+	}
+	// Power-law check: the top 1% of vertices by in-degree should hold far
+	// more than 1% of the edges (R-MAT produces hubs).
+	degs := make([]int, g.NumVertices())
+	for v := range degs {
+		degs[v] = int(g.InDegree(uint32(v)))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := 0
+	for _, d := range degs[:len(degs)/100] {
+		top += d
+	}
+	if frac := float64(top) / float64(g.NumEdges()); frac < 0.05 {
+		t.Errorf("top-1%% in-degree share %.3f too small for a skewed graph", frac)
+	}
+}
+
+func TestRMATWeights(t *testing.T) {
+	cfg := DefaultRMAT(8, 4, 1)
+	cfg.MaxWeight = 16
+	g, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float32]bool{}
+	for _, e := range g.Edges() {
+		if e.Weight < 1 || e.Weight > 16 || e.Weight != float32(math.Trunc(float64(e.Weight))) {
+			t.Fatalf("weight %g outside [1,16] or non-integer", e.Weight)
+		}
+		seen[e.Weight] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("only %d distinct weights, want variety", len(seen))
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	bad := []RMATConfig{
+		{Scale: -1, EdgeFactor: 1, A: 0.25, B: 0.25, C: 0.25},
+		{Scale: 31, EdgeFactor: 1, A: 0.25, B: 0.25, C: 0.25},
+		{Scale: 4, EdgeFactor: -1, A: 0.25, B: 0.25, C: 0.25},
+		{Scale: 4, EdgeFactor: 1, A: 0.9, B: 0.9, C: 0.9},
+		{Scale: 4, EdgeFactor: 1, A: -0.1, B: 0.5, C: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := RMAT(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	g, err := Uniform(100, 500, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 100 || g.NumEdges() != 500 {
+		t.Fatalf("got V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if _, err := Uniform(0, 5, 0, 1); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := Uniform(5, -1, 0, 1); err == nil {
+		t.Error("want error for m<0")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(4, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 20 {
+		t.Fatalf("V=%d, want 20", g.NumVertices())
+	}
+	// 4x5 mesh: horizontal 4*4=16, vertical 3*5=15, both directions.
+	if g.NumEdges() != 2*(16+15) {
+		t.Fatalf("E=%d, want %d", g.NumEdges(), 2*(16+15))
+	}
+	if _, err := Grid(0, 5, 0, 1); err == nil {
+		t.Error("want error for zero dims")
+	}
+}
+
+func TestChain(t *testing.T) {
+	g, err := Chain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 9 {
+		t.Fatalf("E=%d, want 9", g.NumEdges())
+	}
+	for v := uint32(1); v < 9; v++ {
+		if g.InDegree(v) != 1 || g.OutDegree(v) != 1 {
+			t.Fatalf("vertex %d degrees wrong", v)
+		}
+	}
+	if _, err := Chain(0); err == nil {
+		t.Error("want error for n=0")
+	}
+}
+
+func TestRatingGraphShape(t *testing.T) {
+	rg, err := Rating(DefaultRating(50, 20, 400, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rg.Graph
+	if g.NumVertices() != 70 {
+		t.Fatalf("V=%d, want 70", g.NumVertices())
+	}
+	if g.NumEdges() != 800 { // two directed edges per rating
+		t.Fatalf("E=%d, want 800", g.NumEdges())
+	}
+	// Bipartiteness: user edges must point at items and vice versa.
+	for _, e := range g.Edges() {
+		su, du := rg.IsUser(e.Src), rg.IsUser(e.Dst)
+		if su == du {
+			t.Fatalf("edge %d->%d not bipartite", e.Src, e.Dst)
+		}
+		if e.Weight < 1 || e.Weight > 5 {
+			t.Fatalf("rating %g outside [1,5]", e.Weight)
+		}
+	}
+	if rg.ItemVertex(0) != 50 || rg.ItemVertex(19) != 69 {
+		t.Fatal("ItemVertex mapping wrong")
+	}
+}
+
+func TestRatingValidation(t *testing.T) {
+	if _, err := Rating(RatingConfig{Users: 0, Items: 1, Ratings: 1, Rank: 2}); err == nil {
+		t.Error("want error for zero users")
+	}
+	if _, err := Rating(RatingConfig{Users: 1, Items: 1, Ratings: 1, Rank: 0}); err == nil {
+		t.Error("want error for zero rank")
+	}
+	if _, err := Rating(RatingConfig{Users: 1, Items: 1, Ratings: -1, Rank: 2}); err == nil {
+		t.Error("want error for negative ratings")
+	}
+}
+
+func TestCatalogBuilds(t *testing.T) {
+	for _, d := range Catalog {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			switch d.Kind {
+			case Social:
+				g, err := d.BuildSocial(6, true) // heavily shrunk for test speed
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g.NumEdges() == 0 {
+					t.Fatal("empty social graph")
+				}
+				if _, err := d.BuildRating(6); err == nil {
+					t.Error("BuildRating on social dataset should fail")
+				}
+			case RatingKind:
+				rg, err := d.BuildRating(6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rg.NumRatings == 0 {
+					t.Fatal("empty rating graph")
+				}
+				if _, err := d.BuildSocial(6, false); err == nil {
+					t.Error("BuildSocial on rating dataset should fail")
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d, err := Lookup("LJ")
+	if err != nil || d.Name != "LJ" {
+		t.Fatalf("Lookup(LJ) = %v, %v", d, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}
+
+// Property: the SplitMix RNG's float64 stays in [0,1) and intn in range.
+func TestPropertyRNGRanges(t *testing.T) {
+	f := func(seed uint64, span uint8) bool {
+		r := newRNG(seed)
+		n := int(span)%100 + 1
+		for i := 0; i < 50; i++ {
+			if f := r.float64(); f < 0 || f >= 1 {
+				return false
+			}
+			if v := r.intn(n); v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormRoughlyCentered(t *testing.T) {
+	r := newRNG(123)
+	sum, sumSq := 0.0, 0.0
+	const k = 20000
+	for i := 0; i < k; i++ {
+		x := r.norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / k
+	variance := sumSq/k - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("norm mean %.4f too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("norm variance %.4f too far from 1", variance)
+	}
+}

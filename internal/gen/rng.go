@@ -1,0 +1,42 @@
+// Package gen provides deterministic synthetic graph generators used as
+// substitutes for the paper's seven real-world datasets (Table I), which
+// are not redistributable here. The R-MAT generator reproduces the degree
+// skew of the social graphs (Wikipedia-Talk, Pokec, LiveJournal, Twitter);
+// the bipartite rating generator plants a low-rank factor structure that
+// gives Collaborative Filtering the same convergence behaviour as the
+// SAC18 / MovieLens / Netflix rating matrices.
+package gen
+
+// rng is a SplitMix64 generator: tiny, fast, and fully deterministic across
+// platforms, so every test, example, and benchmark sees identical graphs.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// float64 returns a uniform float in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// norm returns an approximately standard-normal variate (Irwin–Hall sum of
+// 12 uniforms), sufficient for planting CF factors.
+func (r *rng) norm() float64 {
+	s := 0.0
+	for i := 0; i < 12; i++ {
+		s += r.float64()
+	}
+	return s - 6
+}

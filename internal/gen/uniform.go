@@ -1,0 +1,73 @@
+package gen
+
+import (
+	"fmt"
+
+	"graphabcd/internal/graph"
+)
+
+// Uniform generates an Erdős–Rényi G(n, m) multigraph with m directed
+// edges chosen uniformly at random. If maxWeight > 0, weights are uniform
+// integers in [1, maxWeight], else 1.
+func Uniform(n, m int, maxWeight int, seed uint64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: uniform graph needs n > 0, got %d", n)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("gen: negative edge count %d", m)
+	}
+	r := newRNG(seed)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		w := float32(1)
+		if maxWeight > 0 {
+			w = float32(1 + r.intn(maxWeight))
+		}
+		edges[i] = graph.Edge{Src: uint32(r.intn(n)), Dst: uint32(r.intn(n)), Weight: w}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Grid generates a rows x cols 4-neighbour mesh with bidirectional edges,
+// useful as a high-diameter stress case for SSSP/BFS (the opposite regime
+// from R-MAT's low diameter). Weights are 1, or uniform in [1, maxWeight].
+func Grid(rows, cols, maxWeight int, seed uint64) (*graph.Graph, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("gen: grid needs positive dims, got %dx%d", rows, cols)
+	}
+	r := newRNG(seed)
+	n := rows * cols
+	id := func(i, j int) uint32 { return uint32(i*cols + j) }
+	var edges []graph.Edge
+	add := func(a, b uint32) {
+		w := float32(1)
+		if maxWeight > 0 {
+			w = float32(1 + r.intn(maxWeight))
+		}
+		edges = append(edges, graph.Edge{Src: a, Dst: b, Weight: w}, graph.Edge{Src: b, Dst: a, Weight: w})
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				add(id(i, j), id(i, j+1))
+			}
+			if i+1 < rows {
+				add(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Chain generates a directed path 0 -> 1 -> ... -> n-1, the worst case for
+// propagation-style algorithms; used in convergence tests.
+func Chain(n int) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: chain needs n > 0, got %d", n)
+	}
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 0; v < n-1; v++ {
+		edges = append(edges, graph.Edge{Src: uint32(v), Dst: uint32(v + 1), Weight: 1})
+	}
+	return graph.FromEdges(n, edges)
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: arbitrary text must never panic the parser, and any
+// successfully parsed graph must survive a write/read round trip.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2 2.5\n# c\n")
+	f.Add("# vertices=10\n0 1 1\n")
+	f.Add("")
+	f.Add("9 9 9\n9 9\n")
+	f.Add("0 1\n\n\n2 0 0.5")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write of parsed graph failed: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip: %d edges, want %d", g2.NumEdges(), g.NumEdges())
+		}
+		a, b := g.Edges(), g2.Edges()
+		for i := range a {
+			if a[i].Src != b[i].Src || a[i].Dst != b[i].Dst {
+				t.Fatalf("edge %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	})
+}

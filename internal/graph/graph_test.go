@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustGraph(t *testing.T, n int, edges []Edge) *Graph {
+	t.Helper()
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+// diamond returns a small fixed graph used across tests:
+// 0->1, 0->2, 1->3, 2->3, 3->0 with weights 1..5.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	return mustGraph(t, 4, []Edge{
+		{0, 1, 1}, {0, 2, 2}, {1, 3, 3}, {2, 3, 4}, {3, 0, 5},
+	})
+}
+
+func TestFromEdgesEmpty(t *testing.T) {
+	g := mustGraph(t, 0, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: got V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	g = mustGraph(t, 5, nil)
+	if g.NumVertices() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("edgeless graph: got V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.InOffset(5) != 0 {
+		t.Fatalf("InOffset(5) = %d, want 0", g.InOffset(5))
+	}
+}
+
+func TestFromEdgesOutOfRange(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 2, 1}}); err == nil {
+		t.Fatal("want error for dst out of range")
+	}
+	if _, err := FromEdges(2, []Edge{{5, 0, 1}}); err == nil {
+		t.Fatal("want error for src out of range")
+	}
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Fatal("want error for negative n")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := diamond(t)
+	wantOut := []int32{2, 1, 1, 1}
+	wantIn := []int32{1, 1, 1, 2}
+	for v := uint32(0); v < 4; v++ {
+		if g.OutDegree(v) != wantOut[v] {
+			t.Errorf("OutDegree(%d) = %d, want %d", v, g.OutDegree(v), wantOut[v])
+		}
+		if g.InDegree(v) != wantIn[v] {
+			t.Errorf("InDegree(%d) = %d, want %d", v, g.InDegree(v), wantIn[v])
+		}
+	}
+}
+
+func TestCSCLayoutSortedByDstThenSrc(t *testing.T) {
+	g := diamond(t)
+	// In-edge slots must be grouped by destination with sources ascending.
+	for v := 0; v < g.NumVertices(); v++ {
+		var prev uint32
+		for s := g.InOffset(v); s < g.InOffset(v+1); s++ {
+			if s > g.InOffset(v) && g.InSrc(s) < prev {
+				t.Errorf("vertex %d: in-edge sources not ascending", v)
+			}
+			prev = g.InSrc(s)
+		}
+	}
+	// Spot-check vertex 3: in-edges from 1 (w=3) and 2 (w=4).
+	lo, hi := g.InOffset(3), g.InOffset(4)
+	if hi-lo != 2 || g.InSrc(lo) != 1 || g.InSrc(lo+1) != 2 {
+		t.Fatalf("vertex 3 in-edges wrong: slots [%d,%d) srcs %d,%d", lo, hi, g.InSrc(lo), g.InSrc(lo+1))
+	}
+	if g.InWeight(lo) != 3 || g.InWeight(lo+1) != 4 {
+		t.Fatalf("vertex 3 in-weights wrong: %g,%g", g.InWeight(lo), g.InWeight(lo+1))
+	}
+}
+
+func TestOutPosPointsAtMatchingSlot(t *testing.T) {
+	g := diamond(t)
+	for v := 0; v < g.NumVertices(); v++ {
+		for i := g.OutOffset(v); i < g.OutOffset(v+1); i++ {
+			dst := g.OutDst(i)
+			slot := g.OutPos(i)
+			if slot < g.InOffset(int(dst)) || slot >= g.InOffset(int(dst)+1) {
+				t.Errorf("out-edge %d->%d: slot %d outside dst range [%d,%d)",
+					v, dst, slot, g.InOffset(int(dst)), g.InOffset(int(dst)+1))
+			}
+			if g.InSrc(slot) != uint32(v) {
+				t.Errorf("out-edge %d->%d: slot %d has src %d", v, dst, slot, g.InSrc(slot))
+			}
+		}
+	}
+}
+
+func TestEdgesRoundTripsMultiset(t *testing.T) {
+	in := []Edge{{1, 0, 9}, {0, 1, 1}, {0, 1, 2}, {1, 1, 3}} // dup + self-loop
+	g := mustGraph(t, 2, in)
+	out := g.Edges()
+	if len(out) != len(in) {
+		t.Fatalf("Edges() len = %d, want %d", len(out), len(in))
+	}
+	key := func(e Edge) [3]float32 { return [3]float32{float32(e.Src), float32(e.Dst), e.Weight} }
+	sortEdges := func(es []Edge) {
+		sort.Slice(es, func(a, b int) bool {
+			ka, kb := key(es[a]), key(es[b])
+			for i := range ka {
+				if ka[i] != kb[i] {
+					return ka[i] < kb[i]
+				}
+			}
+			return false
+		})
+	}
+	sortEdges(in)
+	sortEdges(out)
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("edge %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func randomEdges(rng *rand.Rand, n, m int) []Edge {
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{
+			Src:    uint32(rng.Intn(n)),
+			Dst:    uint32(rng.Intn(n)),
+			Weight: float32(rng.Intn(100)) / 10,
+		}
+	}
+	return edges
+}
+
+// Property: for any random edge list, the dual-layout invariants hold.
+func TestPropertyDualLayoutInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		m := rng.Intn(256)
+		g, err := FromEdges(n, randomEdges(rng, n, m))
+		if err != nil {
+			return false
+		}
+		// Offsets monotone and bounded.
+		for v := 0; v < n; v++ {
+			if g.InOffset(v) > g.InOffset(v+1) || g.OutOffset(v) > g.OutOffset(v+1) {
+				return false
+			}
+		}
+		if g.InOffset(n) != int64(m) || g.OutOffset(n) != int64(m) {
+			return false
+		}
+		// Every CSC slot is referenced by exactly one out-edge.
+		seen := make([]bool, m)
+		for v := 0; v < n; v++ {
+			for i := g.OutOffset(v); i < g.OutOffset(v+1); i++ {
+				s := g.OutPos(i)
+				if s < 0 || s >= int64(m) || seen[s] {
+					return false
+				}
+				seen[s] = true
+				if g.InSrc(s) != uint32(v) {
+					return false
+				}
+			}
+		}
+		// Degree sums equal |E|.
+		var din, dout int64
+		for v := uint32(0); int(v) < n; v++ {
+			din += int64(g.InDegree(v))
+			dout += int64(g.OutDegree(v))
+		}
+		return din == int64(m) && dout == int64(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesDoesNotMutateInput(t *testing.T) {
+	in := []Edge{{3, 0, 1}, {2, 0, 1}, {1, 0, 1}}
+	want := append([]Edge(nil), in...)
+	mustGraph(t, 4, in)
+	for i := range in {
+		if in[i] != want[i] {
+			t.Fatalf("input edge %d mutated: %+v", i, in[i])
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := diamond(t).String(); s != "graph{V=4 E=5}" {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as a plain-text edge list: a header line
+// "# vertices=N edges=M" followed by one "src dst weight" line per edge in
+// CSC slot order. The format round-trips through ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices=%d edges=%d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for s := g.InOffset(v); s < g.InOffset(v+1); s++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", g.InSrc(s), v, g.InWeight(s)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the edge-list format written by WriteEdgeList. Lines
+// beginning with '#' are treated as comments; the optional "vertices=" hint
+// in a comment pre-sizes the graph, otherwise the vertex count is
+// 1 + max(vertex id). Each data line is "src dst [weight]"; a missing
+// weight defaults to 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if i := strings.Index(text, "vertices="); i >= 0 {
+				rest := text[i+len("vertices="):]
+				if j := strings.IndexAny(rest, " \t"); j >= 0 {
+					rest = rest[:j]
+				}
+				if v, err := strconv.Atoi(rest); err == nil && v > n {
+					n = v
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", line, text)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %v", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %v", line, err)
+		}
+		w := float32(1)
+		if len(fields) >= 3 {
+			w64, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
+			}
+			w = float32(w64)
+		}
+		edges = append(edges, Edge{Src: uint32(src), Dst: uint32(dst), Weight: w})
+		if int(src)+1 > n {
+			n = int(src) + 1
+		}
+		if int(dst)+1 > n {
+			n = int(dst) + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromEdges(n, edges)
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: V=%d E=%d, want V=%d E=%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	a, b := g.Edges(), g2.Edges()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d: got %+v want %+v", i, b[i], a[i])
+		}
+	}
+}
+
+func TestReadEdgeListDefaults(t *testing.T) {
+	in := "0 1\n1 2 2.5\n\n# a comment\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	// Default weight 1 for "0 1".
+	slot := g.InOffset(1)
+	if g.InSrc(slot) != 0 || g.InWeight(slot) != 1 {
+		t.Fatalf("default weight edge wrong: src=%d w=%g", g.InSrc(slot), g.InWeight(slot))
+	}
+}
+
+func TestReadEdgeListVerticesHint(t *testing.T) {
+	// Hint adds isolated trailing vertices not mentioned in any edge.
+	in := "# vertices=10 edges=1\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("NumVertices = %d, want 10", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "x 1\n", "1 y\n", "1 2 zzz\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: want parse error", in)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionBasic(t *testing.T) {
+	g := diamond(t)
+	p, err := NewPartition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBlocks() != 2 || p.BlockSize() != 2 {
+		t.Fatalf("got blocks=%d size=%d", p.NumBlocks(), p.BlockSize())
+	}
+	if lo, hi := p.VertexRange(0); lo != 0 || hi != 2 {
+		t.Fatalf("block 0 range [%d,%d)", lo, hi)
+	}
+	if lo, hi := p.VertexRange(1); lo != 2 || hi != 4 {
+		t.Fatalf("block 1 range [%d,%d)", lo, hi)
+	}
+	for v := uint32(0); v < 4; v++ {
+		if got, want := p.BlockOf(v), int(v)/2; got != want {
+			t.Errorf("BlockOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestPartitionSingleBlockExtremes(t *testing.T) {
+	g := diamond(t)
+	for _, bs := range []int{0, 4, 100} {
+		p, err := NewPartition(g, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumBlocks() != 1 {
+			t.Fatalf("blockSize=%d: NumBlocks=%d, want 1", bs, p.NumBlocks())
+		}
+		lo, hi := p.VertexRange(0)
+		if lo != 0 || hi != 4 {
+			t.Fatalf("blockSize=%d: range [%d,%d)", bs, lo, hi)
+		}
+	}
+	if _, err := NewPartition(g, -1); err == nil {
+		t.Fatal("want error for negative block size")
+	}
+}
+
+func TestPartitionEmptyGraph(t *testing.T) {
+	g := mustGraph(t, 0, nil)
+	p, err := NewPartition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBlocks() != 1 {
+		t.Fatalf("NumBlocks = %d, want 1", p.NumBlocks())
+	}
+	if lo, hi := p.VertexRange(0); lo != 0 || hi != 0 {
+		t.Fatalf("range [%d,%d), want empty", lo, hi)
+	}
+	if lo, hi := p.EdgeRange(0); lo != 0 || hi != 0 {
+		t.Fatalf("edge range [%d,%d), want empty", lo, hi)
+	}
+}
+
+func TestPartitionEdgeRangesContiguous(t *testing.T) {
+	g := diamond(t)
+	p, _ := NewPartition(g, 3)
+	var total int64
+	prevHi := int64(0)
+	for b := 0; b < p.NumBlocks(); b++ {
+		lo, hi := p.EdgeRange(b)
+		if lo != prevHi {
+			t.Fatalf("block %d edge range starts at %d, want %d", b, lo, prevHi)
+		}
+		prevHi = hi
+		total += hi - lo
+	}
+	if total != int64(g.NumEdges()) {
+		t.Fatalf("edge ranges cover %d edges, want %d", total, g.NumEdges())
+	}
+}
+
+func TestEdgeBytes(t *testing.T) {
+	g := diamond(t)
+	p, _ := NewPartition(g, 4)
+	if got := p.EdgeBytes(0, 16); got != int64(g.NumEdges())*16 {
+		t.Fatalf("EdgeBytes = %d", got)
+	}
+}
+
+// Property: blocks tile [0,|V|) exactly once and edge ranges tile [0,|E|).
+func TestPropertyPartitionTiles(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		m := rng.Intn(500)
+		g, err := FromEdges(n, randomEdges(rng, n, m))
+		if err != nil {
+			return false
+		}
+		bs := 1 + rng.Intn(n+3)
+		p, err := NewPartition(g, bs)
+		if err != nil {
+			return false
+		}
+		covered := 0
+		prevHi := 0
+		for b := 0; b < p.NumBlocks(); b++ {
+			lo, hi := p.VertexRange(b)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			if p.NumBlockVertices(b) != hi-lo {
+				return false
+			}
+			for v := lo; v < hi; v++ {
+				if p.BlockOf(uint32(v)) != b {
+					return false
+				}
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

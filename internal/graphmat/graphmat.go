@@ -1,0 +1,185 @@
+// Package graphmat re-implements the GraphMat framework (Sundaram et al.,
+// VLDB 2015), the paper's software baseline: a generalized-SpMV,
+// bulk-synchronous GAS engine with block size |V| (Jacobi iteration) and
+// per-sweep active-vertex filtering.
+//
+// GraphMat programs are push-style: each active vertex emits a message,
+// edges transform it (ProcessMessage), messages reduce per destination,
+// and Apply commits. For deterministic parallelism we evaluate the SpMV
+// pull-side (per destination over in-edges whose source is active), which
+// computes the identical fixpoint while only counting work for active
+// sources — exactly the active-list optimization that, as Sec. V-C
+// observes, shrinks GraphMat's effective block size on SSSP.
+package graphmat
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"graphabcd/internal/graph"
+)
+
+// Program is a GraphMat-style vertex program over values V and messages M.
+// Implementations must be stateless.
+type Program[V, M any] interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Init returns vertex v's initial value; every vertex starts active.
+	Init(v uint32, g *graph.Graph) V
+	// Send emits vertex v's message for this sweep; ok=false emits none.
+	Send(v uint32, val V, g *graph.Graph) (msg M, ok bool)
+	// Process transforms a message crossing an edge with the given weight.
+	Process(msg M, weight float32) M
+	// Identity returns the reduction identity.
+	Identity() M
+	// Reduce combines two processed messages.
+	Reduce(a, b M) M
+	// Apply commits the reduced message at vertex v; received=false means
+	// no message arrived this sweep.
+	Apply(v uint32, old V, acc M, received bool, g *graph.Graph) V
+	// Changed reports whether the update was material — a changed vertex
+	// is active (sends) in the next sweep.
+	Changed(old, new V) bool
+	// Dense reports whether every vertex must send every sweep. Sum-based
+	// reductions (PageRank, CF) are dense: skipping a converged source
+	// would truncate its neighbours' sums. Monotone min-based programs
+	// (SSSP, BFS, CC) return false and profit from the active filter —
+	// the data-driven behaviour Sec. V-C credits GraphMat's SSSP with.
+	Dense() bool
+}
+
+// Config parameterizes a GraphMat run.
+type Config struct {
+	// Threads is the parallel worker count (the paper runs 14).
+	Threads int
+	// MaxIters bounds the sweeps; 0 means run until no vertex changes.
+	MaxIters int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Threads <= 0 {
+		return fmt.Errorf("graphmat: Threads must be positive, got %d", c.Threads)
+	}
+	if c.MaxIters < 0 {
+		return fmt.Errorf("graphmat: negative MaxIters %d", c.MaxIters)
+	}
+	return nil
+}
+
+// Stats summarizes a run. Iterations counts full BSP sweeps — the
+// "# of iterations" GraphMat reports in Table III.
+type Stats struct {
+	Iterations     int
+	EdgesTraversed int64 // in-edges scanned from active sources
+	VertexUpdates  int64 // Apply executions on vertices receiving messages
+	Converged      bool
+	WallTime       time.Duration
+}
+
+// MTEPS returns millions of traversed edges per second of wall time.
+func (s Stats) MTEPS() float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return float64(s.EdgesTraversed) / s.WallTime.Seconds() / 1e6
+}
+
+// Result bundles final values and statistics.
+type Result[V any] struct {
+	Values []V
+	Stats  Stats
+}
+
+// Run executes prog over g to convergence (or MaxIters).
+func Run[V, M any](g *graph.Graph, prog Program[V, M], cfg Config) (*Result[V], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	x := make([]V, n)
+	next := make([]V, n)
+	active := make([]bool, n)
+	nextActive := make([]bool, n)
+	for v := 0; v < n; v++ {
+		x[v] = prog.Init(uint32(v), g)
+		active[v] = true
+	}
+	// Messages are recomputed per sweep from the frozen x, so Send is
+	// evaluated lazily per source on the pull side.
+	var stats Stats
+	start := time.Now()
+	for n > 0 {
+		if cfg.MaxIters > 0 && stats.Iterations >= cfg.MaxIters {
+			break
+		}
+		stats.Iterations++
+		var wg sync.WaitGroup
+		var edgeCnt, applyCnt int64
+		var cntMu sync.Mutex
+		anyChanged := false
+		for w := 0; w < cfg.Threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo, hi := w*n/cfg.Threads, (w+1)*n/cfg.Threads
+				dense := prog.Dense()
+				var edges, applies int64
+				changed := false
+				for v := lo; v < hi; v++ {
+					acc := prog.Identity()
+					received := false
+					for s := g.InOffset(v); s < g.InOffset(v+1); s++ {
+						src := g.InSrc(s)
+						if !dense && !active[src] {
+							continue
+						}
+						msg, ok := prog.Send(src, x[src], g)
+						if !ok {
+							continue
+						}
+						edges++
+						m := prog.Process(msg, g.InWeight(s))
+						if received {
+							acc = prog.Reduce(acc, m)
+						} else {
+							acc = m
+							received = true
+						}
+					}
+					newVal := prog.Apply(uint32(v), x[v], acc, received, g)
+					if received {
+						applies++
+					}
+					nextActive[v] = prog.Changed(x[v], newVal)
+					if nextActive[v] {
+						changed = true
+					}
+					next[v] = newVal
+				}
+				cntMu.Lock()
+				edgeCnt += edges
+				applyCnt += applies
+				if changed {
+					anyChanged = true
+				}
+				cntMu.Unlock()
+			}(w)
+		}
+		wg.Wait() // the global memory barrier of BSP
+		x, next = next, x
+		active, nextActive = nextActive, active
+		stats.EdgesTraversed += edgeCnt
+		stats.VertexUpdates += applyCnt
+		if !anyChanged {
+			stats.Converged = true
+			break
+		}
+	}
+	if n == 0 {
+		stats.Converged = true
+	}
+	stats.WallTime = time.Since(start)
+	return &Result[V]{Values: x, Stats: stats}, nil
+}

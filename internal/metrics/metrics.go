@@ -1,0 +1,112 @@
+// Package metrics provides the small numeric and reporting helpers shared
+// by the experiment harness: geometric means (the paper reports geo-mean
+// speedups), normalized series for the convergence figures, and aligned
+// table rendering for the Table II/III reproductions.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+)
+
+// Geomean returns the geometric mean of xs, ignoring non-positive entries
+// (a speedup of 0 or below indicates a failed measurement, not a datum).
+// It returns 0 if no positive entries exist.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Point is one sample of a named curve.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named curve, e.g. "priority/PR/LJ" in Fig. 4.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// Normalize divides every Y by base (e.g. the BSP epoch count), matching
+// the paper's "normalized to BSP" presentation. Non-positive bases leave
+// the series unchanged.
+func (s *Series) Normalize(base float64) {
+	if base <= 0 {
+		return
+	}
+	for i := range s.Points {
+		s.Points[i].Y /= base
+	}
+}
+
+// Table renders aligned rows. Build with NewTable, emit with Flush.
+type Table struct {
+	w  *tabwriter.Writer
+	ow io.Writer
+}
+
+// NewTable starts a table on w with the given header columns.
+func NewTable(w io.Writer, header ...string) *Table {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	t := &Table{w: tw, ow: w}
+	t.Row(toAny(header)...)
+	return t
+}
+
+// Row adds one row; cells are formatted with %v (floats with %.4g).
+func (t *Table) Row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(t.w, "%.4g", v)
+		case float32:
+			fmt.Fprintf(t.w, "%.4g", v)
+		default:
+			fmt.Fprintf(t.w, "%v", v)
+		}
+	}
+	fmt.Fprintln(t.w)
+}
+
+// Flush writes the accumulated table.
+func (t *Table) Flush() error { return t.w.Flush() }
+
+func toAny(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+// FormatDuration renders seconds compactly for report tables.
+func FormatDuration(sec float64) string {
+	switch {
+	case sec <= 0:
+		return "0"
+	case sec < 1e-3:
+		return fmt.Sprintf("%.1fus", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", sec)
+	}
+}

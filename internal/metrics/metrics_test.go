@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean(2,8) = %g", g)
+	}
+	if g := Geomean([]float64{3}); math.Abs(g-3) > 1e-12 {
+		t.Fatalf("Geomean(3) = %g", g)
+	}
+	// Non-positive entries are skipped.
+	if g := Geomean([]float64{2, 0, -1, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean with junk = %g", g)
+	}
+	if Geomean(nil) != 0 || Geomean([]float64{0}) != 0 {
+		t.Fatal("empty geomean must be 0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "pr/lj"
+	s.Add(8, 10)
+	s.Add(64, 20)
+	s.Normalize(10)
+	if s.Points[0].Y != 1 || s.Points[1].Y != 2 {
+		t.Fatalf("normalized points %v", s.Points)
+	}
+	before := append([]Point(nil), s.Points...)
+	s.Normalize(0) // no-op
+	for i := range before {
+		if s.Points[i] != before[i] {
+			t.Fatal("Normalize(0) must be a no-op")
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	tab := NewTable(&buf, "app", "time", "x")
+	tab.Row("pr", 1.23456, 7)
+	tab.Row("sssp", float32(0.5), "n/a")
+	if err := tab.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"app", "pr", "1.235", "sssp", "0.5", "n/a"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table output missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d", len(lines))
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		-1:      "0",
+		500e-9:  "0.5us",
+		0.0025:  "2.50ms",
+		1.5:     "1.500s",
+		0.00005: "50.0us",
+	}
+	for in, want := range cases {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

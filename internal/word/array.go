@@ -1,0 +1,187 @@
+package word
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Array is a fixed-length array of values of type V backed by atomically
+// accessed uint64 words. Loads and stores of individual words are atomic;
+// multi-word values are not read or written as a unit (bounded-staleness
+// semantics, see the package comment).
+type Array[V any] struct {
+	codec Codec[V]
+	words int
+	data  []uint64
+}
+
+// NewArray allocates an n-value array; all values decode from zero words.
+func NewArray[V any](codec Codec[V], n int) *Array[V] {
+	w := codec.Words()
+	return &Array[V]{codec: codec, words: w, data: make([]uint64, n*w)}
+}
+
+// Len returns the number of values.
+func (a *Array[V]) Len() int { return len(a.data) / a.words }
+
+// Words returns the words-per-value of the array's codec.
+func (a *Array[V]) Words() int { return a.words }
+
+// Load reads value i into *v with per-word atomic loads. It allocates a
+// transfer buffer per call; hot paths should use LoadBuf with a reused
+// buffer instead.
+func (a *Array[V]) Load(i int64, v *V) {
+	a.LoadBuf(i, v, make([]uint64, a.words))
+}
+
+// Store writes v into value i with per-word atomic stores. Hot paths
+// should use StoreBuf with a reused buffer.
+func (a *Array[V]) Store(i int64, v V) {
+	a.StoreBuf(i, v, make([]uint64, a.words))
+}
+
+// LoadBuf is Load with a caller-provided transfer buffer of at least
+// Words() entries, avoiding the per-call allocation (the buffer escapes
+// through the codec interface, so a stack buffer cannot be used).
+func (a *Array[V]) LoadBuf(i int64, v *V, buf []uint64) {
+	base := i * int64(a.words)
+	src := buf[:a.words]
+	for w := range src {
+		src[w] = atomic.LoadUint64(&a.data[base+int64(w)])
+	}
+	a.codec.DecodeInto(src, v)
+}
+
+// StoreBuf is Store with a caller-provided transfer buffer.
+func (a *Array[V]) StoreBuf(i int64, v V, buf []uint64) {
+	base := i * int64(a.words)
+	dst := buf[:a.words]
+	a.codec.Encode(v, dst)
+	for w := range dst {
+		atomic.StoreUint64(&a.data[base+int64(w)], dst[w])
+	}
+}
+
+// Fill stores v into every slot. Not atomic with respect to concurrent
+// writers; intended for initialization.
+func (a *Array[V]) Fill(v V) {
+	for i := int64(0); i < int64(a.Len()); i++ {
+		a.Store(i, v)
+	}
+}
+
+// Bytes returns the backing storage size in bytes, used by the accelerator
+// model's traffic accounting.
+func (a *Array[V]) Bytes() int64 { return int64(len(a.data)) * 8 }
+
+// FloatArray is an array of float64 supporting atomic CAS accumulation,
+// used for block priorities (Gauss-Southwell gradient mass, Sec. IV-B).
+type FloatArray struct{ bits []uint64 }
+
+// NewFloatArray allocates an n-element zeroed float array.
+func NewFloatArray(n int) *FloatArray { return &FloatArray{bits: make([]uint64, n)} }
+
+// Len returns the element count.
+func (f *FloatArray) Len() int { return len(f.bits) }
+
+// Load atomically reads element i.
+func (f *FloatArray) Load(i int) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&f.bits[i]))
+}
+
+// Store atomically writes element i.
+func (f *FloatArray) Store(i int, v float64) {
+	atomic.StoreUint64(&f.bits[i], math.Float64bits(v))
+}
+
+// Add atomically adds delta to element i via a CAS loop and returns the
+// new value.
+func (f *FloatArray) Add(i int, delta float64) float64 {
+	for {
+		old := atomic.LoadUint64(&f.bits[i])
+		next := math.Float64frombits(old) + delta
+		if atomic.CompareAndSwapUint64(&f.bits[i], old, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
+// Swap atomically replaces element i and returns the previous value.
+func (f *FloatArray) Swap(i int, v float64) float64 {
+	return math.Float64frombits(atomic.SwapUint64(&f.bits[i], math.Float64bits(v)))
+}
+
+// Bitset is an atomic bitvector used for the active list and the in-flight
+// block flags of the termination unit.
+type Bitset struct {
+	n     int
+	words []uint64
+}
+
+// NewBitset allocates an n-bit zeroed bitset.
+func NewBitset(n int) *Bitset {
+	return &Bitset{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set atomically sets bit i, returning whether it was previously clear.
+func (b *Bitset) Set(i int) bool {
+	w, mask := i/64, uint64(1)<<uint(i%64)
+	for {
+		old := atomic.LoadUint64(&b.words[w])
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&b.words[w], old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Clear atomically clears bit i, returning whether it was previously set.
+func (b *Bitset) Clear(i int) bool {
+	w, mask := i/64, uint64(1)<<uint(i%64)
+	for {
+		old := atomic.LoadUint64(&b.words[w])
+		if old&mask == 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&b.words[w], old, old&^mask) {
+			return true
+		}
+	}
+}
+
+// Get atomically reads bit i.
+func (b *Bitset) Get(i int) bool {
+	return atomic.LoadUint64(&b.words[i/64])&(uint64(1)<<uint(i%64)) != 0
+}
+
+// Any reports whether any bit is set.
+func (b *Bitset) Any() bool {
+	for w := range b.words {
+		if atomic.LoadUint64(&b.words[w]) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for w := range b.words {
+		c += bits.OnesCount64(atomic.LoadUint64(&b.words[w]))
+	}
+	return c
+}
+
+// SetAll sets every bit. Not atomic as a whole; intended for initialization.
+func (b *Bitset) SetAll() {
+	for i := 0; i < b.n; i++ {
+		b.Set(i)
+	}
+}
