@@ -1,0 +1,75 @@
+// Command abcdlint runs GraphABCD's custom static-analysis suite: the
+// concurrency and hot-path invariants the Go compiler cannot check
+// (atomic-word access discipline, allocation-free inner loops, lock
+// hygiene, dropped errors, goroutine spawn rules). See internal/analysis
+// for the rules and DESIGN.md ("Concurrency invariants") for why each
+// exists.
+//
+// Usage:
+//
+//	abcdlint [-rules rule1,rule2] [packages]
+//
+// Packages default to ./... . Exits 1 when any finding survives
+// suppression (`//abcdlint:ignore rule -- reason` on or above the line).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphabcd/internal/analysis"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list available rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: abcdlint [-rules rule1,rule2] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *rules != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*rules, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "abcdlint: unknown rule %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abcdlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, fset, err := analysis.Run(cwd, patterns, analyzers, analysis.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abcdlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(analysis.FormatDiagnostic(fset, cwd, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "abcdlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -209,7 +209,7 @@ func openEdgeStore(g *graph.Graph, kind string) (edgestore.Source, func(), error
 		if err != nil {
 			return nil, nop, err
 		}
-		cleanup := func() { os.RemoveAll(dir) }
+		cleanup := func() { _ = os.RemoveAll(dir) } // best-effort temp cleanup
 		path := filepath.Join(dir, "edges")
 		var src edgestore.Source
 		if kind == "file" {
@@ -226,7 +226,7 @@ func openEdgeStore(g *graph.Graph, kind string) (edgestore.Source, func(), error
 			return nil, nop, err
 		}
 		fmt.Printf("edge store: %s, %d bytes on disk\n", kind, src.Bytes())
-		return src, func() { src.Close(); cleanup() }, nil
+		return src, func() { _ = src.Close(); cleanup() }, nil
 	}
 	return nil, nop, fmt.Errorf("unknown edgestore %q", kind)
 }

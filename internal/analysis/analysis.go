@@ -1,0 +1,126 @@
+// Package analysis implements abcdlint, GraphABCD's custom static-analysis
+// suite. The engine's correctness rests on invariants the Go compiler does
+// not check: every shared vertex word must be accessed through sync/atomic
+// (the paper's barrierless, lock-free state-based updates of Sec. IV-A3 are
+// only race-free under that discipline), the GATHER/APPLY/SCATTER inner
+// loops must not allocate per edge, and the scheduler must never hold a
+// lock across a task-queue operation. The analyzers in this package
+// machine-check those rules over the module's type-checked AST, using only
+// the standard library (go/ast, go/parser, go/token, go/types) — no
+// golang.org/x/tools dependency.
+//
+// A finding can be suppressed with a comment on the flagged line or the
+// line directly above it:
+//
+//	//abcdlint:ignore rule1,rule2 -- reason why this is a false positive
+//
+// The reason after "--" is mandatory; a suppression without one is not
+// honored.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Rule names, usable in //abcdlint:ignore suppressions and -rules flags.
+const (
+	atomicWordName = "atomicword"
+	hotAllocName   = "hotalloc"
+	lockSafeName   = "locksafe"
+	errCheckName   = "errcheck"
+	goroutineName  = "goroutine"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Rule    string
+	Message string
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Pass is the per-package unit of work handed to an analyzer's Run.
+type Pass struct {
+	Fset   *token.FileSet
+	Pkg    *Package
+	Config *Config
+	Report func(Diagnostic)
+}
+
+// ModulePass is the module-wide unit of work handed to an analyzer's
+// RunModule: every scanned package at once, for analyses that must cross
+// package boundaries (call-graph reachability).
+type ModulePass struct {
+	Fset   *token.FileSet
+	Pkgs   []*Package
+	Config *Config
+	Report func(Diagnostic)
+}
+
+// Analyzer is one named rule. Exactly one of Run (per package) or
+// RunModule (whole module) is set.
+type Analyzer struct {
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
+}
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{AtomicWord, HotAlloc, LockSafe, ErrCheck, GoroutineHygiene}
+}
+
+// ByName returns the analyzer with the given rule name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Config tunes the analyzers. The zero value is not useful; start from
+// DefaultConfig.
+type Config struct {
+	// HotRoots seeds hotalloc's reachability analysis with the functions
+	// containing the engine's hot loops. Each entry is "pkg:func": a
+	// package import-path suffix and a function or method name. Allocation
+	// sites inside a root's loops are flagged, as is any allocation in a
+	// function called (transitively) from such a loop.
+	HotRoots []string
+
+	// ErrcheckIgnoreDeferredClose makes errcheck accept `defer f.Close()`
+	// with a dropped error, the ubiquitous cleanup idiom.
+	ErrcheckIgnoreDeferredClose bool
+}
+
+// DefaultConfig returns the configuration used by cmd/abcdlint: the hot
+// roots are the engine's GATHER-APPLY loop, the SCATTER loop, the cluster
+// node's fused worker and batch applier, and the accelerator model's
+// per-task accounting — the paths a block task traverses on every update.
+func DefaultConfig() *Config {
+	return &Config{
+		HotRoots: []string{
+			"internal/core:gatherApply",
+			"internal/core:scatter",
+			"internal/cluster:processBlock",
+			"internal/cluster:applyLoop",
+			"internal/accel:RunBlock",
+			"internal/accel:RunScatter",
+			"internal/accel:RunGather",
+		},
+		ErrcheckIgnoreDeferredClose: true,
+	}
+}

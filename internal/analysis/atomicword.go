@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicWord enforces the engine's core memory rule (paper Sec. IV-A3):
+// once a variable or field is accessed through sync/atomic anywhere in a
+// package, every other access to it must also be atomic. The state-based,
+// barrierless update scheme is data-race-free only because all shared
+// words (word.Array backing slices, FloatArray bits, Bitset words, raw
+// counters) go through atomic loads/stores/CAS; a single plain read or
+// write silently reintroduces the races the design eliminates.
+//
+// Allowed non-atomic uses: len/cap, index-only range (no element read),
+// composite-literal initialization, and the atomic calls themselves.
+var AtomicWord = &Analyzer{
+	Name: atomicWordName,
+	Doc:  "flags plain reads/writes of variables that are elsewhere accessed via sync/atomic",
+	Run:  runAtomicWord,
+}
+
+func runAtomicWord(pass *Pass) {
+	info := pass.Pkg.Info
+	parents := buildParents(pass.Pkg.Files)
+
+	// Phase 1: find every variable/field whose address (or an element's
+	// address) is passed to a sync/atomic function, keyed by declaration
+	// position so generic instantiations collapse onto their origin field.
+	targets := make(map[token.Pos]string)
+	sanctioned := make(map[ast.Node]bool) // first-arg subtrees of atomic calls
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sanctioned[addr] = true
+			base := unparen(addr.X)
+			if idx, ok := base.(*ast.IndexExpr); ok {
+				base = unparen(idx.X)
+			}
+			if obj := referencedVar(info, base); obj != nil {
+				targets[obj.Pos()] = obj.Name()
+			}
+			return true
+		})
+	}
+	if len(targets) == 0 {
+		return
+	}
+
+	// Phase 2: flag any other read or write of those variables.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sanctioned[n] {
+				return false // inside an atomic call's address argument
+			}
+			var ref ast.Expr
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if obj := selectedVar(info, e); obj != nil {
+					if _, hit := targets[obj.Pos()]; hit {
+						ref = e
+					}
+				}
+			case *ast.Ident:
+				// Plain (non-selector) identifier use.
+				if p, ok := parents[e].(*ast.SelectorExpr); ok && p.Sel == e {
+					return true // handled via the SelectorExpr case
+				}
+				if obj, ok := info.Uses[e].(*types.Var); ok && !obj.IsField() {
+					if _, hit := targets[obj.Pos()]; hit {
+						ref = e
+					}
+				}
+			}
+			if ref == nil {
+				return true
+			}
+			if msg, bad := classifyAtomicUse(info, parents, ref); bad {
+				pass.Report(Diagnostic{Pos: ref.Pos(), Rule: atomicWordName, Message: msg})
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicFuncCall reports whether call invokes a function of sync/atomic.
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// referencedVar resolves an expression to the field or variable it names.
+func referencedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return selectedVar(info, e)
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func selectedVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// classifyAtomicUse decides whether a reference to an atomic target is a
+// benign use or a plain (racy) access, returning the finding message.
+func classifyAtomicUse(info *types.Info, parents parentMap, ref ast.Expr) (string, bool) {
+	name := types.ExprString(ref)
+	node := ast.Node(ref)
+	parent := parents[node]
+	for {
+		p, ok := parent.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		node, parent = p, parents[p]
+	}
+
+	// Element access: re-classify the surrounding index expression.
+	if idx, ok := parent.(*ast.IndexExpr); ok && unparen(idx.X) == node {
+		node, parent = idx, parents[idx]
+		for {
+			p, ok := parent.(*ast.ParenExpr)
+			if !ok {
+				break
+			}
+			node, parent = p, parents[p]
+		}
+		name += "[...]"
+	}
+
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		if id, ok := unparen(p.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+				return "", false
+			}
+		}
+	case *ast.RangeStmt:
+		if p.X == node && p.Value == nil {
+			return "", false // index-only iteration reads no elements
+		}
+	case *ast.KeyValueExpr:
+		if p.Key == node {
+			return "", false // composite-literal initialization
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return fmt.Sprintf("address of %s escapes the sync/atomic discipline it is accessed with elsewhere", name), true
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if unparen(lhs) == node {
+				return fmt.Sprintf("plain write to %s, which is accessed via sync/atomic elsewhere in this package", name), true
+			}
+		}
+	case *ast.IncDecStmt:
+		return fmt.Sprintf("plain %s of %s, which is accessed via sync/atomic elsewhere in this package", p.Tok, name), true
+	}
+	return fmt.Sprintf("plain read of %s, which is accessed via sync/atomic elsewhere in this package", name), true
+}

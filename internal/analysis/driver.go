@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Run loads every package named by patterns (relative to dir), applies the
+// given analyzers, filters suppressed findings, and returns the surviving
+// diagnostics sorted by position. The returned FileSet resolves their
+// positions.
+func Run(dir string, patterns []string, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, *token.FileSet, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	dirs, err := loader.ExpandPatterns(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := loader.LoadDir(d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading %s: %w", d, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags := Analyze(loader.Fset, pkgs, analyzers, cfg)
+	return diags, loader.Fset, nil
+}
+
+// Analyze applies analyzers to already-loaded packages, returning the
+// unsuppressed diagnostics in position order.
+func Analyze(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{Fset: fset, Pkgs: pkgs, Config: cfg, Report: report})
+			continue
+		}
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Fset: fset, Pkg: pkg, Config: cfg, Report: report})
+		}
+	}
+	sup := collectSuppressions(fset, pkgs)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.suppressed(fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return kept[i].Rule < kept[j].Rule
+	})
+	return kept
+}
+
+// suppressions maps file -> line -> rules suppressed on that line.
+type suppressions map[string]map[int][]string
+
+// collectSuppressions gathers every well-formed
+// "//abcdlint:ignore rules -- reason" comment. A malformed suppression
+// (missing rule list or missing reason) is ignored, so the finding it was
+// meant to silence still surfaces.
+func collectSuppressions(fset *token.FileSet, pkgs []*Package) suppressions {
+	sup := make(suppressions)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rules, ok := parseSuppression(c.Text)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					byLine := sup[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]string)
+						sup[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], rules...)
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// parseSuppression extracts the rule list from one comment, requiring the
+// "-- reason" tail.
+func parseSuppression(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "abcdlint:ignore")
+	if !ok {
+		return nil, false
+	}
+	ruleParts, reason, ok := strings.Cut(rest, "--")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return nil, false
+	}
+	var rules []string
+	for _, r := range strings.Split(ruleParts, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules = append(rules, r)
+		}
+	}
+	return rules, len(rules) > 0
+}
+
+// suppressed reports whether d is covered by a suppression on its line or
+// the line directly above.
+func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, rule := range byLine[line] {
+			if rule == d.Rule || rule == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FormatDiagnostic renders one finding as "file:line:col: [rule] message",
+// with the file path relative to base when possible.
+func FormatDiagnostic(fset *token.FileSet, base string, d Diagnostic) string {
+	pos := fset.Position(d.Pos)
+	name := pos.Filename
+	if base != "" {
+		if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", filepath.ToSlash(name), pos.Line, pos.Column, d.Rule, d.Message)
+}
+
+// ---- shared AST helpers used by several analyzers ----
+
+// unparen strips any number of parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// parentMap records the parent of every node in a file, for upward
+// classification of how an expression is used.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(files []*ast.File) parentMap {
+	parents := make(parentMap)
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return parents
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags call statements that silently drop an error result. The
+// distributed engine's failure model routes every I/O or protocol error
+// into the run's failure slot (core.engine.fail); a dropped error anywhere
+// in that chain turns a recoverable abort into silent data corruption.
+//
+// Default exemptions (all of them still suppressible the other way around
+// with an explicit `_ =` if the intent is to discard):
+//   - fmt.Print/Printf/Println, and fmt.Fprint* writing to os.Stdout or
+//     os.Stderr (terminal writes; failure is not actionable),
+//   - methods of strings.Builder and bytes.Buffer (documented to never
+//     return a non-nil error),
+//   - `defer x.Close()` when Config.ErrcheckIgnoreDeferredClose is set.
+var ErrCheck = &Analyzer{
+	Name: errCheckName,
+	Doc:  "flags dropped error return values",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	check := func(call *ast.CallExpr, deferred bool) {
+		if !callReturnsError(info, call) {
+			return
+		}
+		if errcheckExempt(pass.Config, info, call, deferred) {
+			return
+		}
+		pass.Report(Diagnostic{Pos: call.Pos(), Rule: errCheckName,
+			Message: fmt.Sprintf("error returned by %s is dropped; handle it or assign it explicitly", types.ExprString(call.Fun))})
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+					check(call, false)
+				}
+			case *ast.GoStmt:
+				check(s.Call, false)
+			case *ast.DeferStmt:
+				check(s.Call, true)
+			}
+			return true
+		})
+	}
+}
+
+// callReturnsError reports whether the call yields an error (alone or as
+// part of a tuple). Type conversions and builtins never do.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// errcheckExempt applies the default exemption list.
+func errcheckExempt(cfg *Config, info *types.Info, call *ast.CallExpr, deferred bool) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+
+	if deferred && cfg.ErrcheckIgnoreDeferredClose && fn.Name() == "Close" {
+		return true
+	}
+	if fn.Pkg().Path() == "fmt" && sig.Recv() == nil {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && isStdStream(info, call.Args[0])
+		}
+	}
+	if recv := sig.Recv(); recv != nil {
+		if named := namedRecvType(recv.Type()); named != nil {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				path, name := obj.Pkg().Path(), obj.Name()
+				if (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isStdStream matches the expressions os.Stdout and os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineHygiene enforces the two goroutine-spawn rules the engine's
+// worker pools rely on:
+//
+//  1. sync.WaitGroup.Add must execute in the spawning goroutine, before
+//     the `go` statement. An Add inside the spawned body races with Wait:
+//     the waiter can observe the counter at zero before any worker has
+//     registered, and the termination unit returns while gather/scatter
+//     workers are still running.
+//  2. A goroutine closure launched inside a loop must not capture the loop
+//     variable directly: pass it as an argument (or rebind it) as the
+//     engine's worker spawns do. Go >= 1.22 gives each iteration a fresh
+//     variable, but the rule keeps the hot spawn sites unambiguous and
+//     safe under older toolchains and manual backports.
+var GoroutineHygiene = &Analyzer{
+	Name: goroutineName,
+	Doc:  "flags WaitGroup.Add inside spawned goroutines and loop-variable capture by goroutine closures",
+	Run:  runGoroutineHygiene,
+}
+
+func runGoroutineHygiene(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Rule 1: wg.Add inside the body launched by `go`.
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if recv, name := mutexCall(info, call); recv != "" && name == "Add" {
+					pass.Report(Diagnostic{Pos: call.Pos(), Rule: goroutineName,
+						Message: fmt.Sprintf("%s.Add inside the spawned goroutine races with Wait; call Add before the go statement", recv)})
+				}
+				return true
+			})
+			return true
+		})
+
+		// Rule 2: loop-variable capture by a goroutine closure.
+		checkLoopCapture(pass, info, f)
+	}
+}
+
+// checkLoopCapture walks the file tracking the loop variables in scope and
+// flags goroutine closures that reference them.
+func checkLoopCapture(pass *Pass, info *types.Info, f *ast.File) {
+	var loopVars []map[types.Object]bool
+	inScope := func(obj types.Object) bool {
+		for _, m := range loopVars {
+			if m[obj] {
+				return true
+			}
+		}
+		return false
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			vars := make(map[types.Object]bool)
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+			}
+			loopVars = append(loopVars, vars)
+			walk(n.Body)
+			loopVars = loopVars[:len(loopVars)-1]
+			return
+		case *ast.RangeStmt:
+			vars := make(map[types.Object]bool)
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						vars[obj] = true
+					}
+				}
+			}
+			loopVars = append(loopVars, vars)
+			walk(n.Body)
+			loopVars = loopVars[:len(loopVars)-1]
+			return
+		case *ast.GoStmt:
+			if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				if len(loopVars) > 0 {
+					seen := make(map[types.Object]bool)
+					ast.Inspect(lit.Body, func(m ast.Node) bool {
+						id, ok := m.(*ast.Ident)
+						if !ok {
+							return true
+						}
+						obj := info.Uses[id]
+						if obj != nil && inScope(obj) && !seen[obj] {
+							seen[obj] = true
+							pass.Report(Diagnostic{Pos: id.Pos(), Rule: goroutineName,
+								Message: fmt.Sprintf("goroutine closure captures loop variable %s; pass it as an argument to the closure instead", obj.Name())})
+						}
+						return true
+					})
+				}
+				// Loops inside the spawned body get their own fresh scope.
+				saved := loopVars
+				loopVars = nil
+				walk(lit.Body)
+				loopVars = saved
+			}
+			// Arguments to the spawned call evaluate in the loop body:
+			// references there are fine.
+			for _, arg := range n.Call.Args {
+				walk(arg)
+			}
+			return
+		}
+		children(n, walk)
+	}
+	walk(f)
+}

@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc guards the engine's per-edge and per-vertex inner loops against
+// hidden allocation. GraphABCD's throughput story (Sec. IV-A1: the GATHER
+// pipeline sustains one edge per cycle) survives in software only if the
+// hot loops are allocation-free: a make/append/fmt call per edge turns the
+// streaming loops into GC pressure. The analyzer seeds a call-graph
+// reachability walk at the configured hot roots (Config.HotRoots); inside
+// a root it flags allocation sites lexically inside loops, and in any
+// function reachable from such a loop it flags allocation sites anywhere.
+// Calls through interfaces are resolved by name+arity over the scanned
+// packages (class-hierarchy style), which over-approximates — suppress
+// deliberate amortized allocations with a reason.
+//
+// Flagged: make, new, append, any call into package fmt, and the
+// word.Array Load/Store/Fill convenience methods, whose documentation
+// already directs hot paths to LoadBuf/StoreBuf.
+var HotAlloc = &Analyzer{
+	Name:      hotAllocName,
+	Doc:       "flags allocating operations reachable from the engine's hot loops",
+	RunModule: runHotAlloc,
+}
+
+// haFunc is one declared function in the scanned module.
+type haFunc struct {
+	obj    *types.Func
+	decl   *ast.FuncDecl
+	pkg    *Package
+	isRoot bool
+	// callsInLoop / callsOutside hold resolved callee objects, split by
+	// whether the call site sits inside a for/range statement.
+	callsInLoop  []*types.Func
+	callsOutside []*types.Func
+}
+
+func runHotAlloc(pass *ModulePass) {
+	funcs := make(map[*types.Func]*haFunc)
+	methodsByName := make(map[string][]*types.Func) // concrete methods, for interface-call resolution
+
+	// Pass 1: index every declared function and concrete method.
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				hf := &haFunc{obj: obj, decl: fd, pkg: pkg, isRoot: isHotRoot(pass.Config, pkg, fd)}
+				funcs[obj] = hf
+				if fd.Recv != nil {
+					methodsByName[fd.Name.Name] = append(methodsByName[fd.Name.Name], obj)
+				}
+			}
+		}
+	}
+
+	// Pass 2: record call edges with loop context.
+	for _, hf := range funcs {
+		collectCalls(hf, methodsByName)
+	}
+
+	// Pass 3: reachability. From a root only loop-resident calls
+	// propagate; from anything reached, every call propagates.
+	reached := make(map[*types.Func]bool)
+	var queue []*types.Func
+	enqueue := func(objs []*types.Func) {
+		for _, o := range objs {
+			if !reached[o] {
+				reached[o] = true
+				queue = append(queue, o)
+			}
+		}
+	}
+	for _, hf := range funcs {
+		if hf.isRoot {
+			enqueue(hf.callsInLoop)
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		if hf, ok := funcs[obj]; ok {
+			enqueue(hf.callsInLoop)
+			enqueue(hf.callsOutside)
+		}
+	}
+
+	// Pass 4: flag allocation sites. Roots: loops only. Reached: anywhere.
+	for _, hf := range funcs {
+		switch {
+		case hf.isRoot:
+			flagAllocs(pass, hf, true)
+		case reached[hf.obj]:
+			flagAllocs(pass, hf, false)
+		}
+	}
+}
+
+// isHotRoot matches a declaration against Config.HotRoots "pkg:func"
+// patterns (import-path suffix plus function name).
+func isHotRoot(cfg *Config, pkg *Package, fd *ast.FuncDecl) bool {
+	for _, pat := range cfg.HotRoots {
+		pkgPat, funcPat, ok := strings.Cut(pat, ":")
+		if !ok {
+			continue
+		}
+		if fd.Name.Name == funcPat && strings.HasSuffix(pkg.ImportPath, pkgPat) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectCalls walks one function body recording resolved call edges and
+// whether each call site is inside a loop. Function literals inherit the
+// enclosing function's loop context.
+func collectCalls(hf *haFunc, methodsByName map[string][]*types.Func) {
+	info := hf.pkg.Info
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			if n.Init != nil {
+				walk(n.Init, inLoop)
+			}
+			if n.Cond != nil {
+				walk(n.Cond, inLoop)
+			}
+			if n.Post != nil {
+				walk(n.Post, inLoop)
+			}
+			walk(n.Body, true)
+			return
+		case *ast.RangeStmt:
+			walk(n.X, inLoop)
+			walk(n.Body, true)
+			return
+		case *ast.CallExpr:
+			for _, callee := range resolveCallees(info, n, methodsByName) {
+				if inLoop {
+					hf.callsInLoop = append(hf.callsInLoop, callee)
+				} else {
+					hf.callsOutside = append(hf.callsOutside, callee)
+				}
+			}
+		}
+		// Generic descent.
+		children(n, func(c ast.Node) { walk(c, inLoop) })
+	}
+	walk(hf.decl.Body, false)
+}
+
+// children invokes fn on the direct children of n.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}
+
+// resolveCallees maps a call expression to the function objects it may
+// invoke: the static callee for direct and method calls, or — for calls
+// through an interface — every scanned concrete method with the same name
+// and arity.
+func resolveCallees(info *types.Info, call *ast.CallExpr, methodsByName map[string][]*types.Func) []*types.Func {
+	var fn *types.Func
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.Uses[fun.Sel].(*types.Func)
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			fn, _ = info.Uses[id].(*types.Func)
+		}
+	}
+	if fn == nil {
+		return nil
+	}
+	fn = fn.Origin()
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		// Interface dispatch: fan out by name and arity. Type-parameter
+		// substitution preserves arity, so this stays sound for generic
+		// interfaces like bcd.Program[V, M], where types.Implements cannot
+		// relate a concrete program to the parameterized interface.
+		var out []*types.Func
+		for _, m := range methodsByName[fn.Name()] {
+			msig := m.Type().(*types.Signature)
+			if msig.Params().Len() == sig.Params().Len() && msig.Recv() != nil && !types.IsInterface(msig.Recv().Type()) {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	return []*types.Func{fn}
+}
+
+// flagAllocs reports allocation sites in hf's body. For root functions
+// only sites inside loops are flagged; otherwise the whole body is hot.
+func flagAllocs(pass *ModulePass, hf *haFunc, loopsOnly bool) {
+	info := hf.pkg.Info
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			if n.Init != nil {
+				walk(n.Init, inLoop)
+			}
+			if n.Cond != nil {
+				walk(n.Cond, inLoop)
+			}
+			if n.Post != nil {
+				walk(n.Post, inLoop)
+			}
+			walk(n.Body, true)
+			return
+		case *ast.RangeStmt:
+			walk(n.X, inLoop)
+			walk(n.Body, true)
+			return
+		case *ast.CallExpr:
+			if !loopsOnly || inLoop {
+				if msg := allocMessage(info, n); msg != "" {
+					pass.Report(Diagnostic{Pos: n.Pos(), Rule: hotAllocName,
+						Message: fmt.Sprintf("%s in hot path %s; %s", msg, hf.obj.Name(), allocAdvice(msg))})
+				}
+			}
+		}
+		children(n, func(c ast.Node) { walk(c, inLoop) })
+	}
+	walk(hf.decl.Body, false)
+}
+
+// allocMessage classifies a call as an allocation site, returning a short
+// description or "".
+func allocMessage(info *types.Info, call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				return b.Name() + " allocates"
+			case "append":
+				return "append may grow and allocate"
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return ""
+		}
+		if fn.Pkg().Path() == "fmt" {
+			return "fmt." + fn.Name() + " allocates and reflects"
+		}
+		if sig := fn.Type().(*types.Signature); sig.Recv() != nil {
+			if named := namedRecvType(sig.Recv().Type()); named != nil {
+				obj := named.Obj()
+				if obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/word") && obj.Name() == "Array" {
+					switch fn.Name() {
+					case "Load", "Store", "Fill":
+						return "word.Array." + fn.Name() + " allocates a transfer buffer per call"
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// allocAdvice returns the remediation hint for an allocation class.
+func allocAdvice(msg string) string {
+	switch {
+	case strings.Contains(msg, "word.Array"):
+		return "use LoadBuf/StoreBuf with a per-worker buffer"
+	case strings.Contains(msg, "fmt."):
+		return "move formatting out of the hot path"
+	default:
+		return "hoist the buffer into per-worker scratch or a sync.Pool"
+	}
+}
+
+// namedRecvType unwraps a receiver type to its named type, if any.
+func namedRecvType(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

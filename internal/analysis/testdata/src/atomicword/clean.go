@@ -1,0 +1,23 @@
+package atomicword
+
+import "sync/atomic"
+
+// cleanCounters sticks to the discipline end to end: atomic accesses,
+// len/cap, composite-literal initialization, and index-only iteration are
+// all allowed.
+type cleanCounters struct {
+	done  uint64
+	words []uint64
+}
+
+func newCleanCounters(n int) *cleanCounters {
+	return &cleanCounters{words: make([]uint64, n)}
+}
+
+func (c *cleanCounters) Work() uint64 {
+	for w := range c.words { // index-only range reads no elements
+		atomic.AddUint64(&c.words[w], 1)
+	}
+	atomic.AddUint64(&c.done, uint64(len(c.words)))
+	return atomic.LoadUint64(&c.done)
+}

@@ -1,0 +1,30 @@
+// Package atomicword is an abcdlint fixture: a variable accessed through
+// sync/atomic anywhere in the package must never see a plain read or
+// write.
+package atomicword
+
+import "sync/atomic"
+
+type counterSet struct {
+	hits  uint64
+	words []uint64
+}
+
+// Bump follows the discipline; these calls make hits and words targets.
+func (c *counterSet) Bump(i int) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.StoreUint64(&c.words[i], 42)
+}
+
+// Race mixes in plain accesses; every one of them is a finding.
+func (c *counterSet) Race(i int) uint64 {
+	c.hits = 0            // want: plain write
+	c.hits++              // want: plain increment
+	total := c.words[i]   // want: element read
+	return total + c.hits // want: plain read
+}
+
+// Escape leaks an address outside the sanctioned atomic calls.
+func (c *counterSet) Escape() *uint64 {
+	return &c.hits // want: address escape
+}

@@ -1,0 +1,21 @@
+package errcheck
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Clean handles or legitimately discards every error.
+func Clean(c closer) (string, error) {
+	if err := work(); err != nil {
+		return "", err
+	}
+	defer c.Close()                  // exempt: deferred Close
+	fmt.Println("status")            // exempt: fmt to the terminal
+	fmt.Fprintf(os.Stderr, "note\n") // exempt: std stream
+	var b strings.Builder
+	b.WriteString("ok") // exempt: strings.Builder never errors
+	_ = work()          // explicit discard
+	return b.String(), nil
+}

@@ -1,0 +1,24 @@
+// Package errcheck is an abcdlint fixture: dropped error results.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+func work() error { return errors.New("boom") }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// Drops ignores errors in every statement position the analyzer checks.
+func Drops(w io.Writer) {
+	work()              // want: statement drop
+	go work()           // want: goroutine drop
+	defer work()        // want: deferred non-Close drop
+	fmt.Fprintf(w, "x") // want: Fprintf to a non-std writer
+	var c closer
+	c.Close() // want: non-deferred Close
+}

@@ -1,0 +1,17 @@
+package goroutine
+
+import "sync"
+
+// SpawnClean counts workers before spawning and passes the loop variable
+// as an argument instead of capturing it.
+func SpawnClean(items []int) {
+	var wg sync.WaitGroup
+	for _, v := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			sink(v)
+		}(v)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,34 @@
+// Package goroutine is an abcdlint fixture: goroutine spawn hygiene.
+package goroutine
+
+import "sync"
+
+// AddInside registers workers from inside the spawned goroutine, racing
+// with the Wait below.
+func AddInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want: Add races with Wait
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// CaptureLoop spawns closures that read the loop variables directly.
+func CaptureLoop(items []int) {
+	var wg sync.WaitGroup
+	for i, v := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink(i + v) // want: captures i and v
+		}()
+	}
+	wg.Wait()
+}
+
+var sunk int
+
+func sink(v int) { sunk = v }

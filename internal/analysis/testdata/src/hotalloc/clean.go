@@ -1,0 +1,19 @@
+package hotalloc
+
+// ColdPath allocates freely: it is neither a root nor reachable from one.
+func ColdPath(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+type cleanStep struct{ sum int }
+
+// Do is reachable from the hot loop (name+arity dispatch) but
+// allocation-free, so it produces no findings.
+func (s *cleanStep) Do(n int) int {
+	s.sum += n
+	return s.sum
+}

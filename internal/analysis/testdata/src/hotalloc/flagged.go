@@ -1,0 +1,43 @@
+// Package hotalloc is an abcdlint fixture: allocation sites reachable
+// from the configured hot root (HotLoop, via "src/hotalloc:HotLoop").
+package hotalloc
+
+import (
+	"fmt"
+
+	"graphabcd/internal/word"
+)
+
+type step interface {
+	Do(n int) int
+}
+
+type allocStep struct{ buf []int }
+
+// Do allocates on every call; it is reached from HotLoop's loop through
+// the step interface.
+func (s *allocStep) Do(n int) int {
+	s.buf = make([]int, n) // want: reached via interface dispatch
+	return len(s.buf)
+}
+
+// HotLoop is the fixture's configured hot root.
+func HotLoop(arr *word.Array[uint64], steps []step, n int) int {
+	total := 0
+	scratch := make([]int, 0, n) // ok: outside any loop in a root
+	for i := 0; i < n; i++ {
+		scratch = append(scratch, i)   // want: append in a root's loop
+		total += len(fmt.Sprint(i))    // want: fmt in the hot loop
+		arr.Store(int64(i), uint64(i)) // want: allocating word.Array method
+		total += steps[i%len(steps)].Do(n)
+		total += helper(n)
+	}
+	return total + scratch[0]
+}
+
+// helper is reached from the hot loop; allocations anywhere in it count.
+func helper(n int) int {
+	tmp := new(int) // want: reached function allocates
+	*tmp = n
+	return *tmp
+}

@@ -1,0 +1,23 @@
+package locksafe
+
+import "sync"
+
+type cleanQueue struct {
+	mu    sync.RWMutex
+	items []int
+}
+
+// Push uses the canonical defer pairing.
+func (q *cleanQueue) Push(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, v)
+}
+
+// Len releases the read lock on the same straight-line path.
+func (q *cleanQueue) Len() int {
+	q.mu.RLock()
+	n := len(q.items)
+	q.mu.RUnlock()
+	return n
+}

@@ -1,0 +1,42 @@
+// Package locksafe is an abcdlint fixture: mutex acquire/release hygiene.
+package locksafe
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	items []int
+	ch    chan int
+}
+
+// LeakyLock never releases in this block.
+func (q *queue) LeakyLock(v int) {
+	q.mu.Lock() // want: no covering unlock
+	q.items = append(q.items, v)
+}
+
+// SendUnderLock holds the mutex across a channel send.
+func (q *queue) SendUnderLock(v int) {
+	q.mu.Lock()
+	q.ch <- v // want: channel send under lock
+	q.mu.Unlock()
+}
+
+// WaitUnderLock blocks on a WaitGroup while holding the lock.
+func (q *queue) WaitUnderLock() {
+	q.mu.Lock()
+	q.wg.Wait() // want: sync Wait under lock
+	q.mu.Unlock()
+}
+
+// EarlyReturn leaves the mutex held on the negative path.
+func (q *queue) EarlyReturn(v int) int {
+	q.mu.Lock()
+	if v < 0 {
+		return -1 // want: return between Lock and Unlock
+	}
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	return len(q.items)
+}

@@ -276,9 +276,9 @@ func (c *clusterRun[V, M]) processBlock(n *node[V, M], b int, ws *workerState[V,
 				continue
 			}
 			p := &ws.pending[owner]
-			p.slots = append(p.slots, slot)
-			p.blocks = append(p.blocks, int32(db-c.nodes[owner].blockLo))
-			p.words = append(p.words, ws.enc...)
+			p.slots = append(p.slots, slot)                               //abcdlint:ignore hotalloc -- amortized: flush resets the batch to [:0], capacity is retained
+			p.blocks = append(p.blocks, int32(db-c.nodes[owner].blockLo)) //abcdlint:ignore hotalloc -- amortized: flush resets the batch to [:0], capacity is retained
+			p.words = append(p.words, ws.enc...)                          //abcdlint:ignore hotalloc -- amortized: flush resets the batch to [:0], capacity is retained
 			if len(p.slots) >= c.cfg.batchSize() {
 				c.flush(owner, p)
 			}
@@ -296,9 +296,9 @@ func (c *clusterRun[V, M]) processBlock(n *node[V, M], b int, ws *workerState[V,
 func (c *clusterRun[V, M]) flush(owner int, p *batch) {
 	out := batch{
 		sentAt: time.Now(),
-		slots:  append([]int64(nil), p.slots...),
-		blocks: append([]int32(nil), p.blocks...),
-		words:  append([]uint64(nil), p.words...),
+		slots:  append([]int64(nil), p.slots...),  //abcdlint:ignore hotalloc -- ownership copy: the batch crosses a channel while p is reused
+		blocks: append([]int32(nil), p.blocks...), //abcdlint:ignore hotalloc -- ownership copy: the batch crosses a channel while p is reused
+		words:  append([]uint64(nil), p.words...), //abcdlint:ignore hotalloc -- ownership copy: the batch crosses a channel while p is reused
 	}
 	p.slots, p.blocks, p.words = p.slots[:0], p.blocks[:0], p.words[:0]
 	c.totalSent.Add(1)

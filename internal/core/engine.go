@@ -567,7 +567,7 @@ func (e *engine[V, M]) scatter(j int, t task, ws *workerScratch[V, M], mass []fl
 		for i := e.g.OutOffset(v); i < e.g.OutOffset(v+1); i++ {
 			tb := e.part.BlockOf(e.g.OutDst(i))
 			if mass[tb] == 0 {
-				*touched = append(*touched, tb)
+				*touched = append(*touched, tb) //abcdlint:ignore hotalloc -- amortized: per-worker buffer, reset to [:0] below with capacity retained
 			}
 			mass[tb] += d
 		}
@@ -595,8 +595,9 @@ func (e *engine[V, M]) scatter(j int, t task, ws *workerScratch[V, M], mass []fl
 func (e *engine[V, M]) result(converged bool, wall time.Duration) *Result[V] {
 	n := e.g.NumVertices()
 	vals := make([]V, n)
+	buf := make([]uint64, e.values.Words())
 	for v := 0; v < n; v++ {
-		e.values.Load(int64(v), &vals[v])
+		e.values.LoadBuf(int64(v), &vals[v], buf)
 	}
 	st := Stats{
 		BlockUpdates:   e.cnt.blocks.Load(),

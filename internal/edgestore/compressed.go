@@ -108,54 +108,51 @@ func WriteCompressed(g *graph.Graph, path string) error {
 }
 
 // OpenCompressed opens a compressed edge file for the given graph.
-func OpenCompressed(g *graph.Graph, path string) (Source, error) {
+func OpenCompressed(g *graph.Graph, path string) (_ Source, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		if err != nil {
+			_ = f.Close() // the validation error supersedes the close error
+		}
+	}()
 	var hdr [4 + 4 + 8 + 8 + 4]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		f.Close()
+	if _, err = io.ReadFull(f, hdr[:]); err != nil {
 		return nil, err
 	}
 	if string(hdr[:4]) != compMagic {
-		f.Close()
 		return nil, fmt.Errorf("edgestore: bad compressed magic %q", hdr[:4])
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != compVersion {
-		f.Close()
 		return nil, fmt.Errorf("edgestore: unsupported compressed version %d", v)
 	}
 	n := int(binary.LittleEndian.Uint64(hdr[8:16]))
 	m := int(binary.LittleEndian.Uint64(hdr[16:24]))
 	if n != g.NumVertices() || m != g.NumEdges() {
-		f.Close()
 		return nil, fmt.Errorf("edgestore: compressed file is for V=%d E=%d, graph has V=%d E=%d",
 			n, m, g.NumVertices(), g.NumEdges())
 	}
 	unweighted := binary.LittleEndian.Uint32(hdr[24:28])&flagUnweighted != 0
 
 	offRaw := make([]byte, 8*(n+1))
-	if _, err := io.ReadFull(f, offRaw); err != nil {
-		f.Close()
+	if _, err = io.ReadFull(f, offRaw); err != nil {
 		return nil, err
 	}
 	offsets := make([]uint64, n+1)
 	for i := range offsets {
 		offsets[i] = binary.LittleEndian.Uint64(offRaw[8*i:])
 		if i > 0 && offsets[i] < offsets[i-1] {
-			f.Close()
 			return nil, fmt.Errorf("edgestore: corrupt offset table at vertex %d", i)
 		}
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
 	dataStart := int64(len(hdr)) + int64(len(offRaw))
 	if int64(offsets[n]) != fi.Size()-dataStart {
-		f.Close()
 		return nil, fmt.Errorf("edgestore: data region is %d bytes, offsets claim %d",
 			fi.Size()-dataStart, offsets[n])
 	}

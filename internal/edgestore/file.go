@@ -86,18 +86,21 @@ func readHeader(f *os.File, g *graph.Graph) error {
 // OpenFile opens a raw out-of-core edge file written by WriteFile for the
 // given graph. Each Block call issues one sequential positioned read per
 // array.
-func OpenFile(g *graph.Graph, path string) (Source, error) {
+func OpenFile(g *graph.Graph, path string) (_ Source, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	if err := readHeader(f, g); err != nil {
-		f.Close()
+	defer func() {
+		if err != nil {
+			_ = f.Close() // the validation error supersedes the close error
+		}
+	}()
+	if err = readHeader(f, g); err != nil {
 		return nil, err
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
 	return &fileSource{g: g, f: f, size: fi.Size()}, nil

@@ -99,26 +99,33 @@ func TestScaleOut(t *testing.T) {
 	if len(rows) != 5 {
 		t.Fatalf("want 5 node counts, got %d", len(rows))
 	}
-	base := minEpochs[1]
-	minMulti, maxMulti := math.Inf(1), 0.0
-	for nodes, e := range minEpochs {
-		if nodes == 1 {
-			continue
+	// The epoch-ratio guardrails below are timing-shape assertions: they
+	// hold when goroutines genuinely run concurrently. Under the race
+	// detector's order-of-magnitude slowdown and serialization the
+	// staleness window balloons and the ratios lose meaning, so -race
+	// runs keep only the structural checks above.
+	if !raceDetectorEnabled {
+		base := minEpochs[1]
+		minMulti, maxMulti := math.Inf(1), 0.0
+		for nodes, e := range minEpochs {
+			if nodes == 1 {
+				continue
+			}
+			// Crossing onto the network pays a bounded one-hop staleness
+			// penalty; it must stay bounded relative to the single node.
+			// Single-core scheduling variance is large at test scale, so the
+			// bound is deliberately loose — the paper-shape record lives in
+			// EXPERIMENTS.md, not this guardrail.
+			if e > base*6 {
+				t.Fatalf("%d nodes: epochs %.1f vs single-node %.1f — penalty unbounded", nodes, e, base)
+			}
+			minMulti = math.Min(minMulti, e)
+			maxMulti = math.Max(maxMulti, e)
 		}
-		// Crossing onto the network pays a bounded one-hop staleness
-		// penalty; it must stay bounded relative to the single node.
-		// Single-core scheduling variance is large at test scale, so the
-		// bound is deliberately loose — the paper-shape record lives in
-		// EXPERIMENTS.md, not this guardrail.
-		if e > base*6 {
-			t.Fatalf("%d nodes: epochs %.1f vs single-node %.1f — penalty unbounded", nodes, e, base)
+		// ...and must not grow with cluster size (the actual scale-out claim).
+		if maxMulti > minMulti*3 {
+			t.Fatalf("multi-node epochs vary %.1f..%.1f — penalty grows with scale", minMulti, maxMulti)
 		}
-		minMulti = math.Min(minMulti, e)
-		maxMulti = math.Max(maxMulti, e)
-	}
-	// ...and must not grow with cluster size (the actual scale-out claim).
-	if maxMulti > minMulti*3 {
-		t.Fatalf("multi-node epochs vary %.1f..%.1f — penalty grows with scale", minMulti, maxMulti)
 	}
 	// Remote traffic share grows with node count.
 	if rows[len(rows)-1].RemotePct <= rows[1].RemotePct {

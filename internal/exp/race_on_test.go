@@ -1,0 +1,9 @@
+//go:build race
+
+package exp
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The detector slows and serializes goroutines by an order of
+// magnitude, which legitimately inflates bounded-staleness effects;
+// timing-shape assertions consult this to stay meaningful.
+const raceDetectorEnabled = true

@@ -34,7 +34,7 @@ func AblationStorage(opt Options) ([]StorageRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
 	rawPath := filepath.Join(dir, "edges.bin")
 	compPath := filepath.Join(dir, "edges.gabc")
 	if err := edgestore.WriteFile(g, rawPath); err != nil {

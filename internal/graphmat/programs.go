@@ -274,6 +274,7 @@ func (c CF) Apply(v uint32, old []float32, acc CFMsg, received bool, g *graph.Gr
 	k := len(old)
 	deg := float64(g.InDegree(v))
 	lr, lam := c.learnRate(), c.lambda()
+	//abcdlint:ignore hotalloc -- fresh per-vertex value; the sweep still reads old for the gradient
 	out := make([]float32, k)
 	for i := 0; i < k; i++ {
 		ax := 0.0

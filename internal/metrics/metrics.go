@@ -72,18 +72,24 @@ func NewTable(w io.Writer, header ...string) *Table {
 func (t *Table) Row(cells ...any) {
 	for i, c := range cells {
 		if i > 0 {
-			fmt.Fprint(t.w, "\t")
+			t.print("\t")
 		}
 		switch v := c.(type) {
 		case float64:
-			fmt.Fprintf(t.w, "%.4g", v)
+			t.print("%.4g", v)
 		case float32:
-			fmt.Fprintf(t.w, "%.4g", v)
+			t.print("%.4g", v)
 		default:
-			fmt.Fprintf(t.w, "%v", v)
+			t.print("%v", v)
 		}
 	}
-	fmt.Fprintln(t.w)
+	t.print("\n")
+}
+
+// print writes one cell fragment into the tabwriter; write errors are
+// buffered by tabwriter and surface from Flush, which callers check.
+func (t *Table) print(format string, args ...any) {
+	_, _ = fmt.Fprintf(t.w, format, args...)
 }
 
 // Flush writes the accumulated table.

@@ -66,8 +66,9 @@ func (a *Array[V]) StoreBuf(i int64, v V, buf []uint64) {
 // Fill stores v into every slot. Not atomic with respect to concurrent
 // writers; intended for initialization.
 func (a *Array[V]) Fill(v V) {
+	buf := make([]uint64, a.words)
 	for i := int64(0); i < int64(a.Len()); i++ {
-		a.Store(i, v)
+		a.StoreBuf(i, v, buf)
 	}
 }
 

@@ -1,0 +1,69 @@
+package word
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCodecRoundtrip drives all three codecs from one input: any value
+// must encode, decode, and re-encode to bit-identical words. Comparing at
+// the word level makes the check NaN-safe (the engine stores raw bits;
+// F64 and Vec32 must preserve every payload, including NaN payloads and
+// negative zero).
+func FuzzCodecRoundtrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), 1)
+	f.Add(uint64(math.MaxUint64), math.Float64bits(-0.0), 3)
+	f.Add(uint64(1)<<40, math.Float64bits(math.Inf(-1)), 8)
+	f.Add(uint64(7), math.Float64bits(math.NaN()), 5)
+
+	f.Fuzz(func(t *testing.T, u, fbits uint64, dim int) {
+		// U64: identity on words.
+		var uc U64
+		ubuf := make([]uint64, uc.Words())
+		uc.Encode(u, ubuf)
+		var uout uint64
+		uc.DecodeInto(ubuf, &uout)
+		if uout != u {
+			t.Fatalf("U64: %d decoded to %d", u, uout)
+		}
+
+		// F64: bit-level roundtrip, NaN payloads included.
+		var fc F64
+		fv := math.Float64frombits(fbits)
+		fbuf := make([]uint64, fc.Words())
+		fc.Encode(fv, fbuf)
+		var fout float64
+		fc.DecodeInto(fbuf, &fout)
+		fbuf2 := make([]uint64, fc.Words())
+		fc.Encode(fout, fbuf2)
+		if fbuf[0] != fbuf2[0] {
+			t.Fatalf("F64: bits %#x re-encoded to %#x", fbuf[0], fbuf2[0])
+		}
+
+		// Vec32: lanes synthesized from the two inputs, odd and even dims.
+		if dim < 1 {
+			dim = 1
+		}
+		dim = dim%9 + 1
+		vc := Vec32{Dim: dim}
+		vec := make([]float32, dim)
+		for i := range vec {
+			bits := uint32(u>>(i%4)*8) ^ uint32(fbits>>(i%8)*4) ^ uint32(i)
+			vec[i] = math.Float32frombits(bits)
+		}
+		vbuf := make([]uint64, vc.Words())
+		vc.Encode(vec, vbuf)
+		var vout []float32
+		vc.DecodeInto(vbuf, &vout)
+		if len(vout) != dim {
+			t.Fatalf("Vec32 dim %d: decoded %d lanes", dim, len(vout))
+		}
+		vbuf2 := make([]uint64, vc.Words())
+		vc.Encode(vout, vbuf2)
+		for w := range vbuf {
+			if vbuf[w] != vbuf2[w] {
+				t.Fatalf("Vec32 dim %d word %d: %#x re-encoded to %#x", dim, w, vbuf[w], vbuf2[w])
+			}
+		}
+	})
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, vet, the abcdlint concurrency/hot-path rules,
+# build, and the full test suite under the race detector. Every step must
+# pass; run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== abcdlint"
+go run ./cmd/abcdlint ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "All checks passed."
