@@ -8,17 +8,27 @@
 //	graphabcd -algo pr -dataset LJ -shrink 2 -block 512 -policy priority
 //	graphabcd -algo sssp -graph weighted.el -source 0 -mode bsp
 //	graphabcd -algo cf -dataset NF -shrink 3 -max-epochs 20 -sim
+//
+// Passing -nodes N (N > 1) runs pr/sssp/bfs/cc on the distributed cluster
+// engine instead, optionally under injected transport faults:
+//
+//	graphabcd -algo pr -dataset LJ -nodes 4 -chaos-drop 0.2 -chaos-dup 0.1
+//	graphabcd -algo cc -dataset WT -nodes 3 -fail-node 1 -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"graphabcd/internal/accel"
 	"graphabcd/internal/bcd"
+	"graphabcd/internal/chaos"
+	"graphabcd/internal/cluster"
 	"graphabcd/internal/core"
 	"graphabcd/internal/edgestore"
 	"graphabcd/internal/gen"
@@ -54,6 +64,17 @@ func run() error {
 		store     = flag.String("edgestore", "memory", "edge storage backend: memory | file | compressed (file/compressed spill to a temp file and stream out-of-core)")
 		top       = flag.Int("top", 5, "print the top-K vertices by value")
 		rank      = flag.Int("rank", 8, "cf: factor rank")
+
+		timeout    = flag.Duration("timeout", 0, "cancel the run after this duration and report the partial result (0 = none)")
+		nodes      = flag.Int("nodes", 1, "cluster nodes; >1 runs pr/sssp/bfs/cc on the distributed engine")
+		wpn        = flag.Int("workers-per-node", 2, "distributed: workers per node")
+		batch      = flag.Int("batch", 64, "distributed: remote updates per message batch")
+		chaosDrop  = flag.Float64("chaos-drop", 0, "distributed: message drop probability")
+		chaosDup   = flag.Float64("chaos-dup", 0, "distributed: message duplication probability")
+		chaosDelay = flag.Duration("chaos-delay", 0, "distributed: max per-message delivery jitter (reorders messages)")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "distributed: fault-injection PRNG seed")
+		failNode   = flag.Int("fail-node", -1, "distributed: kill this node mid-run (-1 = none)")
+		failAfter  = flag.Int64("fail-after", 200, "distributed: batches carried before -fail-node is killed")
 	)
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "source" {
@@ -73,6 +94,42 @@ func run() error {
 	}
 	fmt.Printf("graph: %s\n", g)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	blockSize := *block
+	if blockSize == 0 {
+		blockSize = max(16, g.NumVertices()/256)
+	}
+
+	src := uint32(*source)
+	if !srcSet {
+		src = maxOutDegreeVertex(g)
+	}
+
+	if *nodes > 1 {
+		return runDistributed(ctx, g, distOpts{
+			algo:      *algo,
+			src:       src,
+			top:       *top,
+			nodes:     *nodes,
+			blockSize: blockSize,
+			wpn:       *wpn,
+			batch:     *batch,
+			eps:       *eps,
+			maxEpochs: *maxEpochs,
+			drop:      *chaosDrop,
+			dup:       *chaosDup,
+			delay:     *chaosDelay,
+			seed:      *chaosSeed,
+			failNode:  *failNode,
+			failAfter: *failAfter,
+		})
+	}
+
 	edges, cleanup, err := openEdgeStore(g, *store)
 	if err != nil {
 		return err
@@ -80,7 +137,7 @@ func run() error {
 	defer cleanup()
 
 	cfg := core.Config{
-		BlockSize:  *block,
+		BlockSize:  blockSize,
 		NumPEs:     *pes,
 		NumScatter: *scatter,
 		Hybrid:     *hybrid,
@@ -88,9 +145,6 @@ func run() error {
 		MaxEpochs:  *maxEpochs,
 		Seed:       1,
 		Edges:      edges,
-	}
-	if cfg.BlockSize == 0 {
-		cfg.BlockSize = max(16, g.NumVertices()/256)
 	}
 	switch *mode {
 	case "async":
@@ -127,22 +181,17 @@ func run() error {
 		cfg.Sim = sim
 	}
 
-	src := uint32(*source)
-	if !srcSet {
-		src = maxOutDegreeVertex(g)
-	}
-
 	var stats core.Stats
 	switch *algo {
 	case "pr":
-		res, err := core.Run[float64, float64](g, bcd.PageRank{}, cfg)
+		res, err := core.RunContext[float64, float64](ctx, g, bcd.PageRank{}, cfg)
 		if err != nil {
 			return err
 		}
 		stats = res.Stats
 		printTopFloat(res.Values, *top, "rank")
 	case "sssp":
-		res, err := core.Run[float64, float64](g, bcd.SSSP{Source: src}, cfg)
+		res, err := core.RunContext[float64, float64](ctx, g, bcd.SSSP{Source: src}, cfg)
 		if err != nil {
 			return err
 		}
@@ -150,14 +199,14 @@ func run() error {
 		fmt.Printf("source: %d\n", src)
 		printTopFloat(res.Values, *top, "dist")
 	case "bfs":
-		res, err := core.Run[uint64, uint64](g, bcd.BFS{Source: src}, cfg)
+		res, err := core.RunContext[uint64, uint64](ctx, g, bcd.BFS{Source: src}, cfg)
 		if err != nil {
 			return err
 		}
 		stats = res.Stats
 		fmt.Printf("source: %d, reached: %d\n", src, countReached(res.Values))
 	case "cc":
-		res, err := core.Run[uint64, uint64](g, bcd.CC{}, cfg)
+		res, err := core.RunContext[uint64, uint64](ctx, g, bcd.CC{}, cfg)
 		if err != nil {
 			return err
 		}
@@ -167,7 +216,7 @@ func run() error {
 		if cfg.MaxEpochs == 0 {
 			cfg.MaxEpochs = 50
 		}
-		res, err := core.Run[uint64, bcd.LPAccum](g, bcd.LabelProp{}, cfg)
+		res, err := core.RunContext[uint64, bcd.LPAccum](ctx, g, bcd.LabelProp{}, cfg)
 		if err != nil {
 			return err
 		}
@@ -178,7 +227,7 @@ func run() error {
 			cfg.MaxEpochs = 20
 		}
 		params := bcd.CF{Rank: *rank, LearnRate: 0.3, Lambda: 0.01, Seed: 7}
-		res, err := core.Run[[]float32, []float64](g, params, cfg)
+		res, err := core.RunContext[[]float32, []float64](ctx, g, params, cfg)
 		if err != nil {
 			return err
 		}
@@ -190,9 +239,110 @@ func run() error {
 
 	fmt.Printf("converged: %v\nepochs: %.2f\nblock updates: %d\nedges traversed: %d\nwall time: %v\nthroughput: %.1f MTEPS\n",
 		stats.Converged, stats.Epochs, stats.BlockUpdates, stats.EdgesTraversed, stats.WallTime, stats.MTEPS())
+	if stats.StallWindows > 0 {
+		fmt.Printf("stall windows: %d\n", stats.StallWindows)
+	}
 	if sim != nil {
 		fmt.Printf("sim time: %.3f ms\nbus util: %.1f%%\nPE util: %.1f%%\nbus bytes: %d\n",
 			stats.SimTimeNs/1e6, 100*sim.BusUtilization(), 100*sim.PEUtilization(), sim.BusBytes())
+	}
+	return nil
+}
+
+// distOpts carries the distributed-run flag values.
+type distOpts struct {
+	algo      string
+	src       uint32
+	top       int
+	nodes     int
+	blockSize int
+	wpn       int
+	batch     int
+	eps       float64
+	maxEpochs float64
+	drop, dup float64
+	delay     time.Duration
+	seed      uint64
+	failNode  int
+	failAfter int64
+}
+
+// runDistributed executes pr/sssp/bfs/cc on the cluster engine, wiring up
+// the chaos transport and the mid-run node kill when requested.
+func runDistributed(ctx context.Context, g *graph.Graph, o distOpts) error {
+	cfg := cluster.Config{
+		Nodes:          o.nodes,
+		BlockSize:      o.blockSize,
+		WorkersPerNode: o.wpn,
+		BatchSize:      o.batch,
+		Epsilon:        o.eps,
+		MaxEpochs:      o.maxEpochs,
+	}
+	if o.drop > 0 || o.dup > 0 || o.delay > 0 || o.failNode >= 0 {
+		tcfg := chaos.Config{
+			Seed:     o.seed,
+			DropRate: o.drop,
+			DupRate:  o.dup,
+			MaxDelay: o.delay,
+		}
+		if o.failNode >= 0 {
+			ctl := make(chan cluster.Control, 1)
+			cfg.OnStart = func(c cluster.Control) { ctl <- c }
+			tcfg.AfterBatches = o.failAfter
+			tcfg.OnFault = func() {
+				c := <-ctl
+				if err := c.FailNode(o.failNode); err != nil {
+					fmt.Fprintln(os.Stderr, "graphabcd: fail-node:", err)
+				}
+			}
+		}
+		cfg.Transport = chaos.New(tcfg)
+		fmt.Printf("chaos: drop=%.2f dup=%.2f delay=%v seed=%d\n", o.drop, o.dup, o.delay, o.seed)
+	}
+
+	var stats cluster.Stats
+	switch o.algo {
+	case "pr":
+		res, err := cluster.Run[float64, float64](ctx, g, bcd.PageRank{}, cfg)
+		if err != nil {
+			return err
+		}
+		stats = res.Stats
+		printTopFloat(res.Values, o.top, "rank")
+	case "sssp":
+		res, err := cluster.Run[float64, float64](ctx, g, bcd.SSSP{Source: o.src}, cfg)
+		if err != nil {
+			return err
+		}
+		stats = res.Stats
+		fmt.Printf("source: %d\n", o.src)
+		printTopFloat(res.Values, o.top, "dist")
+	case "bfs":
+		res, err := cluster.Run[uint64, uint64](ctx, g, bcd.BFS{Source: o.src}, cfg)
+		if err != nil {
+			return err
+		}
+		stats = res.Stats
+		fmt.Printf("source: %d, reached: %d\n", o.src, countReached(res.Values))
+	case "cc":
+		res, err := cluster.Run[uint64, uint64](ctx, g, bcd.CC{}, cfg)
+		if err != nil {
+			return err
+		}
+		stats = res.Stats
+		fmt.Printf("components: %d\n", countComponents(res.Values))
+	default:
+		return fmt.Errorf("algorithm %q does not support -nodes > 1 (pick pr, sssp, bfs, or cc)", o.algo)
+	}
+
+	fmt.Printf("converged: %v\nnodes: %d\nepochs: %.2f\nblock updates: %d\nedges traversed: %d\nwall time: %v\nthroughput: %.1f MTEPS\n",
+		stats.Converged, stats.Nodes, stats.Epochs, stats.BlockUpdates, stats.EdgesTraversed, stats.WallTime, stats.MTEPS())
+	fmt.Printf("messages: %d in %d batches (%d local writes)\n",
+		stats.MessagesSent, stats.BatchesSent, stats.LocalWrites)
+	fmt.Printf("batches retried: %d, dropped: %d, duplicated: %d\nnodes failed: %d\n",
+		stats.BatchesRetried, stats.BatchesDropped, stats.BatchesDuplicated, stats.NodesFailed)
+	if stats.StallWindows > 0 {
+		fmt.Printf("stall windows: %d\n", stats.StallWindows)
 	}
 	return nil
 }

@@ -20,6 +20,7 @@
 package graphabcd
 
 import (
+	"context"
 	"io"
 
 	"graphabcd/internal/accel"
@@ -251,17 +252,24 @@ type ClusterResult[V any] = cluster.Result[V]
 
 // RunDistributed executes any Program across a multi-node cluster.
 func RunDistributed[V, M any](g *Graph, prog Program[V, M], cfg ClusterConfig) (*ClusterResult[V], error) {
-	return cluster.Run(g, prog, cfg)
+	return cluster.Run(context.Background(), g, prog, cfg)
+}
+
+// RunDistributedContext is RunDistributed under a context: cancellation
+// or deadline expiry stops the cluster gracefully and returns the
+// partial fixed-point computed so far with Stats.Converged == false.
+func RunDistributedContext[V, M any](ctx context.Context, g *Graph, prog Program[V, M], cfg ClusterConfig) (*ClusterResult[V], error) {
+	return cluster.Run(ctx, g, prog, cfg)
 }
 
 // RunDistributedPageRank runs PageRank across cfg.Nodes nodes.
 func RunDistributedPageRank(g *Graph, cfg ClusterConfig) (*ClusterResult[float64], error) {
-	return cluster.Run[float64, float64](g, bcd.PageRank{}, cfg)
+	return cluster.Run[float64, float64](context.Background(), g, bcd.PageRank{}, cfg)
 }
 
 // RunDistributedSSSP runs SSSP across cfg.Nodes nodes.
 func RunDistributedSSSP(g *Graph, source uint32, cfg ClusterConfig) (*ClusterResult[float64], error) {
-	return cluster.Run[float64, float64](g, bcd.SSSP{Source: source}, cfg)
+	return cluster.Run[float64, float64](context.Background(), g, bcd.SSSP{Source: source}, cfg)
 }
 
 // Edge storage backends (out-of-core and compressed execution).

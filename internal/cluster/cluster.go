@@ -4,25 +4,37 @@
 // platforms without further coordination logic") but only prototypes on a
 // single CPU-FPGA pair.
 //
-// Each node owns a contiguous range of vertex blocks: its vertex values,
-// the edge-cache slots of its vertices' in-edges, and a private scheduler
+// Each node owns a set of vertex blocks: its vertex values, the
+// edge-cache slots of its vertices' in-edges, and a private scheduler
 // and worker set. SCATTER updates whose destination block lives on
-// another node travel as state-based messages through that node's inbox
-// channel (optionally delayed to model network latency). Because updates
-// are state-based, messages are idempotent and tolerate reordering and
-// delay — the bounded-staleness condition of asynchronous BCD is the only
-// correctness requirement, so there are still no locks and no barriers,
-// only channels.
+// another node travel as state-based messages through a pluggable
+// Transport. Because updates are state-based, messages are idempotent
+// and tolerate delay and redelivery — the bounded-staleness condition of
+// asynchronous BCD is the only correctness requirement, so there are
+// still no locks and no barriers on the steady-state path, only channels
+// and atomics.
 //
-// Termination uses an exact distributed-quiescence check: a monotone
-// sent-message counter, an in-flight counter decremented only after the
-// receiving node has applied (and re-activated from) a message, and a
-// coordinator that accepts termination only when (1) no message is in
-// flight, then (2) every node is quiescent, and finally (3) no message
-// was sent while it looked. See termination.go for the argument.
+// The transport contract is deliberately weak: messages may be dropped,
+// duplicated, delayed, or reordered (internal/chaos injects exactly
+// those faults). The cluster compensates with at-least-once delivery —
+// unacked batches are retried with exponential backoff — and per-slot
+// write stamps that discard stale redeliveries. Nodes may also be killed
+// mid-run (Control.FailNode): the dead node's blocks are reassigned to
+// survivors and the orphaned edge-cache state is rebuilt by
+// re-scattering current owner values, which is exactly the idempotent
+// write the normal path performs.
+//
+// Termination uses an exact, ack-based distributed-quiescence check: a
+// monotone created-batch counter, an in-flight counter decremented only
+// after the receiving node has applied (and re-activated from) a batch
+// and its acknowledgment has come back, and a coordinator that accepts
+// termination only when no rebuild is in progress, no batch is
+// unsettled, every live node is quiescent, and nothing changed while it
+// looked. See checkQuiescence in node.go for the argument.
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,6 +46,8 @@ import (
 // Config parameterizes a distributed run.
 type Config struct {
 	// Nodes is the number of nodes the blocks are partitioned across.
+	// If Nodes exceeds the block count it is clamped down so every node
+	// owns at least one block (Stats.Nodes reports the effective count).
 	Nodes int
 	// BlockSize is the BCD block size within each node.
 	BlockSize int
@@ -44,13 +58,35 @@ type Config struct {
 	// MaxEpochs bounds total work at MaxEpochs * |V| vertex updates
 	// across the cluster; 0 means run to convergence.
 	MaxEpochs float64
-	// NetDelay delays every inter-node message by this duration,
+	// NetDelay delays every inter-node data message by this duration,
 	// modeling network latency. Asynchronous BCD requires only that the
 	// delay is bounded; correctness tests inject it.
 	NetDelay time.Duration
 	// BatchSize groups remote updates per message (amortizes the
 	// per-message cost, increases staleness). 0 means 64.
 	BatchSize int
+
+	// Transport overrides how envelopes move between nodes. nil means
+	// the perfect in-process transport; chaos.New builds a seeded faulty
+	// one (drops, duplicates, delay jitter, partitions).
+	Transport Transport
+	// RetryBase is the initial at-least-once retransmission backoff for
+	// unacked batches; it doubles per attempt (capped at 50ms). 0 means
+	// 2ms. Retries are idempotent by the state-based update discipline.
+	RetryBase time.Duration
+	// RetryDeadline bounds how long one batch may stay undelivered to a
+	// live node before the run fails (an unbounded partition is the one
+	// fault the cluster does not tolerate — see DESIGN.md §8). 0 means
+	// 30s.
+	RetryDeadline time.Duration
+	// Watchdog is the stall-watchdog sampling period: every period with
+	// zero progress (no vertex update, no batch settled) increments
+	// Stats.StallWindows. 0 means 500ms; negative disables the watchdog.
+	Watchdog time.Duration
+	// OnStart, when non-nil, receives the run's Control handle right
+	// after the workers start — the hook from which tests and chaos
+	// harnesses schedule mid-run node failures.
+	OnStart func(Control)
 }
 
 // Validate reports configuration errors.
@@ -70,6 +106,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: negative NetDelay %v", c.NetDelay)
 	case c.BatchSize < 0:
 		return fmt.Errorf("cluster: negative BatchSize %d", c.BatchSize)
+	case c.RetryBase < 0:
+		return fmt.Errorf("cluster: negative RetryBase %v", c.RetryBase)
+	case c.RetryDeadline < 0:
+		return fmt.Errorf("cluster: negative RetryDeadline %v", c.RetryDeadline)
 	}
 	return nil
 }
@@ -81,17 +121,51 @@ func (c Config) batchSize() int {
 	return c.BatchSize
 }
 
+func (c Config) retryBase() time.Duration {
+	if c.RetryBase == 0 {
+		return 2 * time.Millisecond
+	}
+	return c.RetryBase
+}
+
+func (c Config) retryDeadline() time.Duration {
+	if c.RetryDeadline == 0 {
+		return 30 * time.Second
+	}
+	return c.RetryDeadline
+}
+
+func (c Config) watchdogPeriod() time.Duration {
+	if c.Watchdog == 0 {
+		return 500 * time.Millisecond
+	}
+	return c.Watchdog
+}
+
 // Stats summarizes a distributed run.
 type Stats struct {
 	core.Stats
-	// Nodes is the node count the run used.
+	// Nodes is the effective node count the run used (after clamping to
+	// the block count).
 	Nodes int
 	// MessagesSent counts individual remote slot updates.
 	MessagesSent int64
-	// BatchesSent counts network messages (batches of updates).
+	// BatchesSent counts logical network messages (batches of updates);
+	// retransmissions of the same batch are counted in BatchesRetried.
 	BatchesSent int64
 	// LocalWrites counts scatter writes that stayed node-local.
 	LocalWrites int64
+	// BatchesRetried counts at-least-once retransmissions of unacked
+	// batches.
+	BatchesRetried int64
+	// BatchesDropped counts envelopes lost in the transport (injected
+	// faults) plus batches abandoned because their destination failed.
+	BatchesDropped int64
+	// BatchesDuplicated counts envelopes the transport delivered more
+	// than once (injected faults).
+	BatchesDuplicated int64
+	// NodesFailed counts nodes killed mid-run via Control.FailNode.
+	NodesFailed int64
 }
 
 // Result bundles final values with statistics.
@@ -100,8 +174,10 @@ type Result[V any] struct {
 	Stats  Stats
 }
 
-// Run executes prog over g partitioned across cfg.Nodes nodes.
-func Run[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*Result[V], error) {
+// Run executes prog over g partitioned across cfg.Nodes nodes. Cancelling
+// ctx stops the run gracefully: the partial result is returned with
+// Stats.Converged == false and a nil error.
+func Run[V, M any](ctx context.Context, g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*Result[V], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,5 +190,5 @@ func Run[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*Result[
 	if err != nil {
 		return nil, err
 	}
-	return c.run()
+	return c.run(ctx)
 }

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -40,7 +42,7 @@ func TestConfigValidate(t *testing.T) {
 		if cfg.Validate() == nil {
 			t.Errorf("config %d accepted", i)
 		}
-		if _, err := Run[float64, float64](testGraph(t), bcd.PageRank{}, cfg); err == nil {
+		if _, err := Run[float64, float64](context.Background(), testGraph(t), bcd.PageRank{}, cfg); err == nil {
 			t.Errorf("config %d: Run accepted invalid config", i)
 		}
 	}
@@ -50,7 +52,7 @@ func TestDistributedPageRankMatchesReference(t *testing.T) {
 	g := testGraph(t)
 	want := bcd.RefPageRank(g, 0.85, 1e-13, 1000)
 	for _, nodes := range []int{1, 2, 4, 7} {
-		res, err := Run[float64, float64](g, bcd.PageRank{}, baseCfg(nodes))
+		res, err := Run[float64, float64](context.Background(), g, bcd.PageRank{}, baseCfg(nodes))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +87,7 @@ func TestDistributedSSSPExact(t *testing.T) {
 	want := bcd.RefSSSP(g, src)
 	cfg := baseCfg(3)
 	cfg.Epsilon = 0
-	res, err := Run[float64, float64](g, bcd.SSSP{Source: src}, cfg)
+	res, err := Run[float64, float64](context.Background(), g, bcd.SSSP{Source: src}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestDistributedToleratesNetworkDelay(t *testing.T) {
 	cfg := baseCfg(4)
 	cfg.NetDelay = 2 * time.Millisecond
 	cfg.BatchSize = 16
-	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	res, err := Run[float64, float64](context.Background(), g, bcd.PageRank{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +126,7 @@ func TestDistributedBudgetStops(t *testing.T) {
 	cfg := baseCfg(2)
 	cfg.Epsilon = 0 // never naturally quiescent within the budget
 	cfg.MaxEpochs = 2
-	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	res, err := Run[float64, float64](context.Background(), g, bcd.PageRank{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,12 +145,15 @@ func TestDistributedMoreNodesThanBlocks(t *testing.T) {
 	}
 	cfg := Config{Nodes: 8, BlockSize: 16, WorkersPerNode: 1, Epsilon: 1e-12}
 	// 40 vertices / 16 = 3 blocks across 8 nodes: most nodes own nothing.
-	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	res, err := Run[float64, float64](context.Background(), g, bcd.PageRank{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Stats.Converged {
 		t.Fatal("did not converge with idle nodes")
+	}
+	if res.Stats.Nodes != 3 {
+		t.Fatalf("8 requested nodes over 3 blocks must clamp to 3, got %d", res.Stats.Nodes)
 	}
 	want := bcd.RefPageRank(g, 0.85, 1e-13, 1000)
 	for v := range want {
@@ -159,7 +164,7 @@ func TestDistributedMoreNodesThanBlocks(t *testing.T) {
 }
 
 func TestDistributedRejectsOpBased(t *testing.T) {
-	if _, err := Run[float64, float64](testGraph(t), bcd.PageRankDelta{}, baseCfg(2)); err == nil {
+	if _, err := Run[float64, float64](context.Background(), testGraph(t), bcd.PageRankDelta{}, baseCfg(2)); err == nil {
 		t.Fatal("operation-based programs must be rejected")
 	}
 }
@@ -168,7 +173,7 @@ func TestDistributedMessageAccounting(t *testing.T) {
 	g := testGraph(t)
 	cfg := baseCfg(4)
 	cfg.BatchSize = 8
-	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	res, err := Run[float64, float64](context.Background(), g, bcd.PageRank{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,6 +186,74 @@ func TestDistributedMessageAccounting(t *testing.T) {
 	}
 }
 
+// panicky injects a vertex-program panic so tests can prove worker
+// panics surface as an error from Run instead of crashing the process.
+type panicky struct{ bcd.PageRank }
+
+func (panicky) Apply(v uint32, old float64, acc *float64, nEdges int64, g *graph.Graph) float64 {
+	if v == 7 {
+		panic("injected vertex fault")
+	}
+	return bcd.PageRank{}.Apply(v, old, acc, nEdges, g)
+}
+
+func TestDistributedWorkerPanicReturnsError(t *testing.T) {
+	g := testGraph(t)
+	res, err := Run[float64, float64](context.Background(), g, panicky{}, baseCfg(3))
+	if err == nil {
+		t.Fatal("worker panic must surface as an error from Run")
+	}
+	if res != nil {
+		t.Fatal("failed run must not return a result")
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("error should identify the panic, got: %v", err)
+	}
+}
+
+func TestDistributedCancellation(t *testing.T) {
+	g := testGraph(t)
+
+	// A context cancelled before the run starts must still yield a
+	// graceful partial result, not an error.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := baseCfg(2)
+	res, err := Run[float64, float64](pre, g, bcd.PageRank{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Converged {
+		t.Fatal("cancelled run must not report convergence")
+	}
+	if len(res.Values) != g.NumVertices() {
+		t.Fatal("cancelled run must still return the partial values")
+	}
+
+	// Mid-run cancellation: network delay keeps the run alive well past
+	// the cancellation point; Run must come back promptly regardless.
+	ctx, cancel2 := context.WithCancel(context.Background())
+	cfg = baseCfg(4)
+	cfg.Epsilon = 0
+	cfg.NetDelay = time.Millisecond
+	cfg.BatchSize = 4
+	go func() {
+		time.Sleep(25 * time.Millisecond)
+		cancel2()
+	}()
+	start := time.Now()
+	res, err = Run[float64, float64](ctx, g, bcd.PageRank{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Converged {
+		t.Fatal("cancelled run must not report convergence")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to unwind", elapsed)
+	}
+}
+
 // BatchSize 1 sends one message per remote slot update — the worst-case
 // message pattern must still be exact.
 func TestDistributedUnbatchedMessages(t *testing.T) {
@@ -188,7 +261,7 @@ func TestDistributedUnbatchedMessages(t *testing.T) {
 	want := bcd.RefPageRank(g, 0.85, 1e-13, 1000)
 	cfg := baseCfg(3)
 	cfg.BatchSize = 1
-	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	res, err := Run[float64, float64](context.Background(), g, bcd.PageRank{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,12 +24,30 @@ type clusterRun[V, M any] struct {
 	values *word.Array[V] // vertex values (each owned by one node)
 	cache  *word.Array[V] // in-edge cache slots (owned by the dst's node)
 
-	blockOwner []int32 // global block id -> node id
+	// slotSeq holds the write stamp of the last update applied to each
+	// cache slot over the transport. Remote applies are guarded by it:
+	// a retried or reordered envelope whose stamp is older than the
+	// slot's is skipped, so redelivery can never regress a slot to a
+	// stale value. Local scatter writes bypass the stamps — a slot's
+	// writer is its source vertex's owner, so local and remote writers
+	// of one slot never coexist (failover fences the handover).
+	slotSeq []atomic.Uint64
+
+	blockOwner []atomic.Int32 // global block id -> current owner node id
 	nodes      []*node[V, M]
+	transport  Transport
+
+	// fence serializes failover against normal execution: workers hold
+	// the read side for each claim-process-done iteration, FailNode
+	// holds the write side while it reassigns blocks and rebuilds cache
+	// slots, so ownership changes are atomic w.r.t. block processing.
+	fence sync.RWMutex
 
 	// Distributed-termination accounting (see checkQuiescence).
-	totalSent atomic.Int64 // monotone count of batches ever sent
-	inflight  atomic.Int64 // batches sent but not yet fully applied
+	seq        atomic.Uint64 // logical batch ids / write stamps
+	totalSent  atomic.Int64  // monotone count of logical batches ever created
+	inflight   atomic.Int64  // batches created but neither acked nor abandoned
+	recovering atomic.Int64  // FailNode calls currently rebuilding state
 
 	// Work accounting.
 	vertices atomic.Int64
@@ -37,28 +57,56 @@ type clusterRun[V, M any] struct {
 	msgs    atomic.Int64 // remote slot updates
 	batches atomic.Int64
 	localW  atomic.Int64 // node-local scatter writes
+	retried atomic.Int64 // batch retransmissions
+	dropped atomic.Int64 // batches abandoned at failed nodes
+	failedN atomic.Int64 // nodes killed by FailNode
+	stalls  atomic.Int64 // watchdog periods without progress
 
-	budget    int64 // vertex-update budget from MaxEpochs
+	liveNodes atomic.Int64
+
+	budget    int64         // vertex-update budget from MaxEpochs
+	done      chan struct{} // closed at teardown; releases appliers
 	stopping  atomic.Bool
 	converged atomic.Bool
+	failure   atomic.Pointer[error]
+
+	failMu sync.Mutex // serializes FailNode calls
 }
 
 // node is one member of the cluster.
 type node[V, M any] struct {
-	id       int
-	blockLo  int // global id of the node's first block
-	numLocal int
-	st       *sched.State // indexed by local block id (global - blockLo)
-	inbox    chan batch
+	id     int
+	st     *sched.State // indexed by GLOBAL block id; only owned blocks activate
+	inbox  chan Envelope
+	down   chan struct{} // closed by FailNode; applier switches to discard mode
+	failed atomic.Bool
+
+	// applyMu is held by the applier around each envelope; FailNode
+	// acquires every live node's applyMu to park appliers at an
+	// envelope boundary while it rebuilds cache slots.
+	applyMu sync.Mutex
+
+	// unacked holds this node's sent-but-unacknowledged batches for the
+	// at-least-once retry loop.
+	unackedMu sync.Mutex
+	unacked   map[uint64]*pending
 }
 
-// batch is one network message: a group of state-based edge-cache updates
-// destined for blocks of a single node.
+// pending is one unacknowledged batch awaiting its ack or retransmission.
+type pending struct {
+	to        int
+	env       Envelope
+	attempts  int
+	nextRetry time.Time
+	deadline  time.Time
+}
+
+// batch is a building buffer of state-based edge-cache updates destined
+// for blocks of a single node; flush turns it into a data Envelope.
 type batch struct {
-	sentAt time.Time
-	slots  []int64  // CSC slot indices on the receiving node
-	blocks []int32  // receiving node's local block index per slot
-	words  []uint64 // encoded values, len = len(slots) * codec.Words()
+	slots  []int64
+	blocks []int32
+	words  []uint64
 }
 
 func newCluster[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*clusterRun[V, M], error) {
@@ -66,34 +114,49 @@ func newCluster[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*
 	if err != nil {
 		return nil, err
 	}
+	nb := part.NumBlocks()
+	if cfg.Nodes > nb && nb > 0 {
+		// More nodes than blocks would leave zero-block nodes spinning
+		// workers against a permanently empty scheduler; clamp so every
+		// node owns at least one block.
+		cfg.Nodes = nb
+	}
 	codec := prog.Codec()
 	c := &clusterRun[V, M]{
-		g:      g,
-		prog:   prog,
-		cfg:    cfg,
-		part:   part,
-		values: word.NewArray(codec, g.NumVertices()),
-		cache:  word.NewArray(codec, g.NumEdges()),
+		g:       g,
+		prog:    prog,
+		cfg:     cfg,
+		part:    part,
+		values:  word.NewArray(codec, g.NumVertices()),
+		cache:   word.NewArray(codec, g.NumEdges()),
+		slotSeq: make([]atomic.Uint64, g.NumEdges()),
+		done:    make(chan struct{}),
 	}
-	nb := part.NumBlocks()
-	c.blockOwner = make([]int32, nb)
+	c.transport = cfg.Transport
+	if c.transport == nil {
+		c.transport = &directTransport{}
+	}
+	c.blockOwner = make([]atomic.Int32, nb)
 	c.nodes = make([]*node[V, M], cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		lo, hi := i*nb/cfg.Nodes, (i+1)*nb/cfg.Nodes
 		for b := lo; b < hi; b++ {
-			c.blockOwner[b] = int32(i)
+			c.blockOwner[b].Store(int32(i))
 		}
 		c.nodes[i] = &node[V, M]{
-			id:       i,
-			blockLo:  lo,
-			numLocal: hi - lo,
-			st:       sched.NewState(hi - lo),
-			inbox:    make(chan batch, 1024),
+			id:      i,
+			st:      sched.NewState(nb),
+			inbox:   make(chan Envelope, 1024),
+			down:    make(chan struct{}),
+			unacked: make(map[uint64]*pending),
 		}
 	}
+	c.liveNodes.Store(int64(cfg.Nodes))
 	c.initArrays()
 	return c, nil
 }
+
+func (c *clusterRun[V, M]) owner(b int) int { return int(c.blockOwner[b].Load()) }
 
 func (c *clusterRun[V, M]) initArrays() {
 	buf := make([]uint64, c.values.Words())
@@ -105,38 +168,76 @@ func (c *clusterRun[V, M]) initArrays() {
 	}
 }
 
-// run starts every node's workers and appliers, the coordinator, and
-// collects the result.
-func (c *clusterRun[V, M]) run() (*Result[V], error) {
+// fail records the first failure; the coordinator stops the run and Run
+// returns the error.
+func (c *clusterRun[V, M]) fail(err error) {
+	c.failure.CompareAndSwap(nil, &err)
+	c.stopping.Store(true)
+}
+
+// recoverToFailure converts a worker or applier panic into a run failure
+// instead of a process crash. Deferred at every goroutine boundary.
+func (c *clusterRun[V, M]) recoverToFailure() {
+	if r := recover(); r != nil {
+		c.fail(fmt.Errorf("cluster: worker panic: %v", r))
+	}
+}
+
+// run starts every node's workers and appliers, the retry and watchdog
+// goroutines, the coordinator, and collects the result.
+func (c *clusterRun[V, M]) run(ctx context.Context) (*Result[V], error) {
 	start := time.Now()
 	c.budget = 1<<63 - 1
 	if c.cfg.MaxEpochs > 0 {
 		c.budget = int64(c.cfg.MaxEpochs * float64(c.g.NumVertices()))
 	}
-	for _, n := range c.nodes {
-		n.st.ActivateAll(1)
+	for b := 0; b < c.part.NumBlocks(); b++ {
+		c.nodes[c.owner(b)].st.Activate(b, 1)
 	}
-	var workers, appliers sync.WaitGroup
+	c.transport.Bind(len(c.nodes), c.deliverLocal)
+
+	var workers, appliers, aux sync.WaitGroup
 	for _, n := range c.nodes {
-		n := n
 		appliers.Add(1)
-		go func() {
+		go func(n *node[V, M]) {
 			defer appliers.Done()
+			defer c.recoverToFailure()
 			c.applyLoop(n)
-		}()
+		}(n)
 		for w := 0; w < c.cfg.WorkersPerNode; w++ {
 			workers.Add(1)
-			go func() {
+			go func(n *node[V, M]) {
 				defer workers.Done()
+				defer c.recoverToFailure()
 				c.workerLoop(n)
-			}()
+			}(n)
 		}
 	}
-	c.coordinate()
-	workers.Wait()
-	for _, n := range c.nodes {
-		close(n.inbox)
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		c.retryLoop()
+	}()
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		c.watchdog()
+	}()
+	if c.cfg.OnStart != nil {
+		c.cfg.OnStart(c)
 	}
+
+	c.coordinate(ctx)
+	workers.Wait()
+	aux.Wait()
+	// Workers and the retry loop are gone, so no new data envelopes can
+	// originate. Close the transport (draining its in-flight delayed
+	// deliveries) while appliers still consume, then release the appliers
+	// via the done channel. Inboxes are never closed — appliers may still
+	// be sending acks into each other's inboxes right up to the moment
+	// they observe done, and a send racing a close would panic.
+	c.transport.Close()
+	close(c.done)
 	appliers.Wait()
 
 	res := &Result[V]{Values: make([]V, c.g.NumVertices())}
@@ -144,7 +245,11 @@ func (c *clusterRun[V, M]) run() (*Result[V], error) {
 	for v := range res.Values {
 		c.values.LoadBuf(int64(v), &res.Values[v], buf)
 	}
-	n := c.g.NumVertices()
+	nv := c.g.NumVertices()
+	var tDropped, tDuplicated int64
+	if fc, ok := c.transport.(FaultCounter); ok {
+		tDropped, tDuplicated = fc.FaultCounts()
+	}
 	res.Stats = Stats{
 		Stats: core.Stats{
 			BlockUpdates:   c.blocks.Load(),
@@ -152,51 +257,104 @@ func (c *clusterRun[V, M]) run() (*Result[V], error) {
 			EdgesTraversed: c.edges.Load(),
 			ScatterWrites:  c.localW.Load() + c.msgs.Load(),
 			Converged:      c.converged.Load(),
+			StallWindows:   c.stalls.Load(),
 			WallTime:       time.Since(start),
 		},
-		Nodes:        c.cfg.Nodes,
-		MessagesSent: c.msgs.Load(),
-		BatchesSent:  c.batches.Load(),
-		LocalWrites:  c.localW.Load(),
+		Nodes:             c.cfg.Nodes,
+		MessagesSent:      c.msgs.Load(),
+		BatchesSent:       c.batches.Load(),
+		LocalWrites:       c.localW.Load(),
+		BatchesRetried:    c.retried.Load(),
+		BatchesDropped:    c.dropped.Load() + tDropped,
+		BatchesDuplicated: tDuplicated,
+		NodesFailed:       c.failedN.Load(),
 	}
-	if n > 0 {
-		res.Stats.Epochs = float64(res.Stats.VertexUpdates) / float64(n)
+	if nv > 0 {
+		res.Stats.Epochs = float64(res.Stats.VertexUpdates) / float64(nv)
+	}
+	if errp := c.failure.Load(); errp != nil {
+		return nil, *errp
 	}
 	return res, nil
 }
 
+// deliverLocal is the transport's injection point into node inboxes. Data
+// envelopes queue on the receiver's inbox and apply backpressure; acks
+// settle directly on the delivering goroutine — settle only takes the
+// receiving node's unacked lock, so it can never block on an applier,
+// never competes with data for inbox space, and never deadlocks two
+// appliers acking each other. (A transport may still drop or delay the
+// ack in flight; the sender's retry of the idempotent batch covers that.)
+func (c *clusterRun[V, M]) deliverLocal(to int, e Envelope) {
+	n := c.nodes[to]
+	if e.kind != envData {
+		c.settle(n, e.id)
+		return
+	}
+	// A parked channel send, never a poll loop: under heavy chaos tens of
+	// thousands of delayed deliveries can be in flight at once, and
+	// spin-waiting on a full inbox melts the scheduler. The two escape
+	// hatches are channels too — down unblocks senders to a dead node
+	// (the failover rebuild compensates for the batch), done unblocks
+	// everything at teardown (the run is over; the batch cannot matter).
+	select {
+	case n.inbox <- e:
+	case <-n.down:
+	case <-c.done:
+	}
+}
+
 // workerLoop is one node-local fused gather-apply-scatter worker, cycling
-// over the node's own blocks.
+// over the blocks its node currently owns.
 func (c *clusterRun[V, M]) workerLoop(n *node[V, M]) {
 	sch, err := sched.New(sched.Cyclic, n.st, uint64(n.id)+1)
 	if err != nil {
-		panic(err) // cyclic is always constructible
+		c.fail(fmt.Errorf("cluster: node %d scheduler: %w", n.id, err))
+		return
 	}
 	ws := newWorkerState(c.prog, c.cfg)
 	spins := 0
-	for !c.stopping.Load() {
-		if c.vertices.Load() >= c.budget {
-			// Workers police the budget themselves; the coordinator's
-			// polling interval would otherwise allow a large overshoot.
-			c.stopping.Store(true)
+	for {
+		nap := c.workerStep(n, sch, ws, &spins)
+		if nap < 0 {
 			return
 		}
-		local, ok := sch.Next()
-		if !ok {
-			spins++
-			if spins < 64 {
-				// Another worker may hold every active block; yield.
-				time.Sleep(time.Microsecond)
-			} else {
-				time.Sleep(50 * time.Microsecond)
-			}
-			continue
+		if nap > 0 {
+			// Back off outside the fence so a pending failover is never
+			// delayed by an idle worker's nap.
+			time.Sleep(nap)
 		}
-		spins = 0
-		global := n.blockLo + local
-		c.processBlock(n, global, ws)
-		n.st.Done(local)
 	}
+}
+
+// workerStep runs one claim-process-done iteration under the failover
+// fence. It returns a backoff duration (0 = progress was made), or a
+// negative duration when the worker should exit.
+func (c *clusterRun[V, M]) workerStep(n *node[V, M], sch sched.Scheduler, ws *workerState[V, M], spins *int) time.Duration {
+	c.fence.RLock()
+	defer c.fence.RUnlock()
+	if c.stopping.Load() || n.failed.Load() {
+		return -1
+	}
+	if c.vertices.Load() >= c.budget {
+		// Workers police the budget themselves; the coordinator's
+		// polling interval would otherwise allow a large overshoot.
+		c.stopping.Store(true)
+		return -1
+	}
+	b, ok := sch.Next()
+	if !ok {
+		*spins++
+		if *spins < 64 {
+			// Another worker may hold every active block; yield.
+			return time.Microsecond
+		}
+		return 50 * time.Microsecond
+	}
+	*spins = 0
+	c.processBlock(n, b, ws)
+	n.st.Done(b)
+	return 0
 }
 
 // workerState is the per-worker scratch.
@@ -268,78 +426,244 @@ func (c *clusterRun[V, M]) processBlock(n *node[V, M], b int, ws *workerState[V,
 		for i := c.g.OutOffset(v); i < c.g.OutOffset(v+1); i++ {
 			slot := c.g.OutPos(i)
 			db := c.part.BlockOf(c.g.OutDst(i))
-			owner := int(c.blockOwner[db])
+			owner := c.owner(db)
 			if owner == n.id {
 				c.cache.StoreBuf(slot, sval, ws.buf)
-				n.st.Activate(db-n.blockLo, d)
+				n.st.Activate(db, d)
 				c.localW.Add(1)
 				continue
 			}
 			p := &ws.pending[owner]
-			p.slots = append(p.slots, slot)                               //abcdlint:ignore hotalloc -- amortized: flush resets the batch to [:0], capacity is retained
-			p.blocks = append(p.blocks, int32(db-c.nodes[owner].blockLo)) //abcdlint:ignore hotalloc -- amortized: flush resets the batch to [:0], capacity is retained
-			p.words = append(p.words, ws.enc...)                          //abcdlint:ignore hotalloc -- amortized: flush resets the batch to [:0], capacity is retained
+			p.slots = append(p.slots, slot)        //abcdlint:ignore hotalloc -- amortized: flush resets the batch to [:0], capacity is retained
+			p.blocks = append(p.blocks, int32(db)) //abcdlint:ignore hotalloc -- amortized: flush resets the batch to [:0], capacity is retained
+			p.words = append(p.words, ws.enc...)   //abcdlint:ignore hotalloc -- amortized: flush resets the batch to [:0], capacity is retained
 			if len(p.slots) >= c.cfg.batchSize() {
-				c.flush(owner, p)
+				c.flush(n, owner, p)
 			}
 		}
 	}
 	for owner := range ws.pending {
 		if len(ws.pending[owner].slots) > 0 {
-			c.flush(owner, &ws.pending[owner])
+			c.flush(n, owner, &ws.pending[owner])
 		}
 	}
 }
 
-// flush sends the building batch to its owner node. Counter order matters
-// for termination: totalSent and inflight rise before the send.
-func (c *clusterRun[V, M]) flush(owner int, p *batch) {
-	out := batch{
-		sentAt: time.Now(),
-		slots:  append([]int64(nil), p.slots...),  //abcdlint:ignore hotalloc -- ownership copy: the batch crosses a channel while p is reused
-		blocks: append([]int32(nil), p.blocks...), //abcdlint:ignore hotalloc -- ownership copy: the batch crosses a channel while p is reused
-		words:  append([]uint64(nil), p.words...), //abcdlint:ignore hotalloc -- ownership copy: the batch crosses a channel while p is reused
+// flush turns the building batch into a data envelope, registers it for
+// at-least-once retry, and hands it to the transport. Counter order
+// matters for termination: totalSent and inflight rise before the send,
+// and inflight falls only when the ack comes back (or the destination
+// dies and the failover rebuild takes over the batch's duty).
+func (c *clusterRun[V, M]) flush(n *node[V, M], owner int, p *batch) {
+	now := time.Now()
+	e := Envelope{
+		kind:   envData,
+		from:   n.id,
+		id:     c.seq.Add(1),
+		sentAt: now,
+		slots:  append([]int64(nil), p.slots...),  //abcdlint:ignore hotalloc -- ownership copy: the envelope crosses the transport while p is reused
+		blocks: append([]int32(nil), p.blocks...), //abcdlint:ignore hotalloc -- ownership copy: the envelope crosses the transport while p is reused
+		words:  append([]uint64(nil), p.words...), //abcdlint:ignore hotalloc -- ownership copy: the envelope crosses the transport while p is reused
 	}
 	p.slots, p.blocks, p.words = p.slots[:0], p.blocks[:0], p.words[:0]
 	c.totalSent.Add(1)
 	c.inflight.Add(1)
-	c.msgs.Add(int64(len(out.slots)))
+	c.msgs.Add(int64(len(e.slots)))
 	c.batches.Add(1)
-	c.nodes[owner].inbox <- out
+	n.unackedMu.Lock()
+	n.unacked[e.id] = &pending{ //abcdlint:ignore hotalloc -- at-least-once bookkeeping: one entry per batch, amortized over BatchSize slot updates
+		to:        owner,
+		env:       e,
+		nextRetry: now.Add(c.cfg.retryBase()),
+		deadline:  now.Add(c.cfg.retryDeadline()),
+	}
+	n.unackedMu.Unlock()
+	c.transport.Send(n.id, owner, e)
 }
 
-// applyLoop consumes a node's inbox: after the modeled network delay, it
-// stores each update into the local edge cache and re-activates the
-// affected block with the observed change as Gauss-Southwell mass.
-// inflight falls only after the activations are visible.
+// applyLoop consumes a node's inbox until the node fails (after which it
+// discards traffic so senders never block on a dead node) or the run's
+// done channel closes at shutdown.
 func (c *clusterRun[V, M]) applyLoop(n *node[V, M]) {
+	as := &applyScratch[V]{buf: make([]uint64, max(c.cache.Words(), 2))}
+	for {
+		select {
+		case <-n.down:
+			for { // discard traffic until shutdown
+				select {
+				case <-c.done:
+					return
+				case <-n.inbox:
+				}
+			}
+		case <-c.done:
+			return
+		case e := <-n.inbox:
+			n.applyMu.Lock()
+			if !n.failed.Load() {
+				c.handleEnvelope(n, e, as)
+			}
+			n.applyMu.Unlock()
+		}
+	}
+}
+
+// applyScratch is the applier's reusable transfer scratch.
+type applyScratch[V any] struct {
+	old, incoming V
+	buf           []uint64
+}
+
+// handleEnvelope applies one data batch on node n under the per-slot
+// write-stamp guard and acknowledges it — every time, even when every
+// slot was stale, because a duplicate usually means the previous ack was
+// lost. (Acks themselves never reach here; deliverLocal settles them on
+// the delivering goroutine.)
+func (c *clusterRun[V, M]) handleEnvelope(n *node[V, M], e Envelope, as *applyScratch[V]) {
+	if c.cfg.NetDelay > 0 {
+		if wait := time.Until(e.sentAt.Add(c.cfg.NetDelay)); wait > 0 {
+			time.Sleep(wait)
+		}
+	}
 	words := c.cache.Words()
-	var old, incoming V
-	buf := make([]uint64, max(words, 2))
-	for b := range n.inbox {
-		if c.cfg.NetDelay > 0 {
-			if wait := time.Until(b.sentAt.Add(c.cfg.NetDelay)); wait > 0 {
-				time.Sleep(wait)
-			}
+	for i, slot := range e.slots {
+		if c.slotSeq[slot].Load() > e.id {
+			continue // stale redelivery: a newer write already landed
 		}
-		for i, slot := range b.slots {
-			c.cache.LoadBuf(slot, &old, buf)
-			c.prog.Codec().DecodeInto(b.words[i*words:(i+1)*words], &incoming)
-			c.cache.StoreBuf(slot, incoming, buf)
-			if d := c.prog.Delta(old, incoming); d > c.cfg.Epsilon {
-				n.st.Activate(int(b.blocks[i]), d)
-			}
+		c.cache.LoadBuf(slot, &as.old, as.buf)
+		c.prog.Codec().DecodeInto(e.words[i*words:(i+1)*words], &as.incoming)
+		c.cache.StoreBuf(slot, as.incoming, as.buf)
+		c.slotSeq[slot].Store(e.id)
+		if d := c.prog.Delta(as.old, as.incoming); d > c.cfg.Epsilon {
+			n.st.Activate(int(e.blocks[i]), d)
 		}
+	}
+	c.transport.Send(n.id, e.from, Envelope{kind: envAck, from: n.id, id: e.id})
+}
+
+// settle clears one unacked batch on first ack; duplicate acks find the
+// entry gone and decrement nothing, keeping inflight exact.
+func (c *clusterRun[V, M]) settle(n *node[V, M], id uint64) {
+	n.unackedMu.Lock()
+	_, ok := n.unacked[id]
+	if ok {
+		delete(n.unacked, id)
+	}
+	n.unackedMu.Unlock()
+	if ok {
 		c.inflight.Add(-1)
 	}
 }
 
+// retrySend is one due retransmission collected under the unacked lock
+// and sent after it is released.
+type retrySend struct {
+	to  int
+	env Envelope
+}
+
+// retryLoop is the at-least-once delivery engine: it rescans every node's
+// unacked batches, retransmits the due ones with exponential backoff,
+// abandons batches whose destination died (the failover rebuild is their
+// compensation), and fails the run if a batch to a live node outlives its
+// delivery deadline.
+func (c *clusterRun[V, M]) retryLoop() {
+	base := c.cfg.retryBase()
+	tick := base / 4
+	if tick < 200*time.Microsecond {
+		tick = 200 * time.Microsecond
+	}
+	var due []retrySend
+	for !c.stopping.Load() {
+		time.Sleep(tick)
+		now := time.Now()
+		for _, n := range c.nodes {
+			due = due[:0]
+			abandoned := 0
+			n.unackedMu.Lock()
+			for id, p := range n.unacked {
+				if c.nodes[p.to].failed.Load() {
+					delete(n.unacked, id)
+					abandoned++
+					continue
+				}
+				if now.Before(p.nextRetry) {
+					continue
+				}
+				if now.After(p.deadline) {
+					delete(n.unacked, id)
+					abandoned++
+					c.fail(fmt.Errorf("cluster: batch %d from node %d to live node %d undelivered after %v (%d attempts): transport partitioned beyond the retry deadline",
+						id, n.id, p.to, c.cfg.retryDeadline(), p.attempts))
+					continue
+				}
+				p.attempts++
+				backoff := base << uint(p.attempts)
+				if backoff > 50*time.Millisecond {
+					backoff = 50 * time.Millisecond
+				}
+				p.nextRetry = now.Add(backoff)
+				due = append(due, retrySend{to: p.to, env: p.env})
+			}
+			n.unackedMu.Unlock()
+			if abandoned > 0 {
+				c.dropped.Add(int64(abandoned))
+				c.inflight.Add(int64(-abandoned))
+			}
+			for _, r := range due {
+				c.retried.Add(1)
+				c.transport.Send(n.id, r.to, r.env)
+			}
+		}
+	}
+}
+
+// watchdog samples run progress once per watchdog period and counts the
+// periods in which nothing moved — neither a vertex update nor a batch
+// application. The count surfaces as Stats.StallWindows so a hung or
+// partitioned run is visible even when it eventually completes.
+func (c *clusterRun[V, M]) watchdog() {
+	period := c.cfg.watchdogPeriod()
+	if period <= 0 {
+		return
+	}
+	step := period / 8
+	if step < time.Millisecond {
+		step = time.Millisecond
+	}
+	last := int64(-1)
+	for {
+		deadline := time.Now().Add(period)
+		for time.Now().Before(deadline) {
+			if c.stopping.Load() {
+				return
+			}
+			time.Sleep(step)
+		}
+		progress := c.vertices.Load() + c.totalSent.Load() - c.inflight.Load()
+		if progress == last {
+			c.stalls.Add(1)
+		}
+		last = progress
+	}
+}
+
 // coordinate is the cluster's termination unit. It stops the run when the
-// epoch budget is exhausted or when distributed quiescence is certain.
-func (c *clusterRun[V, M]) coordinate() {
+// context is cancelled, a failure is recorded, the epoch budget is
+// exhausted, or distributed quiescence is certain.
+func (c *clusterRun[V, M]) coordinate(ctx context.Context) {
+	done := ctx.Done()
 	for {
 		if c.stopping.Load() {
 			return
+		}
+		select {
+		case <-done:
+			// Graceful cancellation: stop scheduling, keep the partial
+			// result. Converged stays false.
+			c.stopping.Store(true)
+			return
+		default:
 		}
 		if c.vertices.Load() >= c.budget {
 			c.stopping.Store(true)
@@ -354,27 +678,39 @@ func (c *clusterRun[V, M]) coordinate() {
 	}
 }
 
-// checkQuiescence implements the exact distributed termination test.
+// checkQuiescence implements the exact distributed termination test,
+// ack-based so it stays exact under retries, duplicates, and node death.
 //
 // Order of observation: (1) snapshot the monotone totalSent counter;
-// (2) require inflight == 0 — every batch ever sent has been applied, and
-// appliers raise the destination's active bit *before* decrementing
-// inflight, so all resulting activations are visible; (3) require every
-// node quiescent — any worker still processing holds its block in-flight
-// and would fail this; (4) require totalSent unchanged — no new batch was
-// sent while we looked (a sender's block stays in-flight until its
-// scatter completes, but this re-check closes the window between reading
-// a sender's state and its sends). If all four hold, no work exists
-// anywhere in the system.
+// (2) require no failover rebuild in progress — a rebuild is about to
+// re-activate blocks, so the system is not quiet; (3) require
+// inflight == 0 — every logical batch ever created has either been acked
+// (the receiver raised the destination's active bit *before* sending the
+// ack, and the sender decremented inflight only after processing the
+// ack, so all resulting activations are visible) or been abandoned at a
+// failed node *after* the rebuild that compensates for it started, which
+// step (2) covers; retries and duplicate deliveries never touch the
+// counter, and duplicate acks find the unacked entry already gone;
+// (4) require every live node quiescent — any worker still processing
+// holds its block in-flight and would fail this (dead nodes' scheduler
+// state is orphaned by reassignment and excluded); (5) require totalSent
+// unchanged and still no rebuild — no new batch was created and no node
+// died while we looked. If all five hold, no work exists anywhere.
 func (c *clusterRun[V, M]) checkQuiescence() bool {
 	s1 := c.totalSent.Load()
+	if c.recovering.Load() != 0 {
+		return false
+	}
 	if c.inflight.Load() != 0 {
 		return false
 	}
 	for _, n := range c.nodes {
+		if n.failed.Load() {
+			continue
+		}
 		if !n.st.Quiescent() {
 			return false
 		}
 	}
-	return c.totalSent.Load() == s1
+	return c.totalSent.Load() == s1 && c.recovering.Load() == 0
 }

@@ -30,7 +30,7 @@ func (e *engine[V, M]) runBSP() bool {
 	epochsSeen := 0
 	for {
 		epochsSeen = e.fireEpochHook(epochsSeen)
-		if e.failed() || e.cnt.vertices.Load() >= budget {
+		if e.failed() || e.cancelled() || e.cnt.vertices.Load() >= budget {
 			return false
 		}
 		e.stall("schedule")
@@ -42,6 +42,7 @@ func (e *engine[V, M]) runBSP() bool {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				defer e.recoverToFailure()
 				e.stall("gather")
 				ws := newScratch(e.prog)
 				vlo, vhi := starts[w], starts[w+1]
@@ -111,6 +112,7 @@ func (e *engine[V, M]) runBSP() bool {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				defer e.recoverToFailure()
 				e.stall("scatter")
 				ws := newScratch(e.prog)
 				var writes int64

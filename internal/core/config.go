@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"graphabcd/internal/accel"
 	"graphabcd/internal/edgestore"
@@ -107,6 +108,10 @@ type Config struct {
 	// convergence curves from a single run. Called from the scheduler
 	// goroutine; keep it fast.
 	OnEpoch func(epoch int)
+	// Watchdog is the stall-watchdog sampling period: every period that
+	// passes without a single vertex update increments
+	// Stats.StallWindows. 0 means 500ms; negative disables the watchdog.
+	Watchdog time.Duration
 }
 
 // DefaultConfig returns an async cyclic configuration with the given block
@@ -139,6 +144,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative QueueDepth %d", c.QueueDepth)
 	case c.Mode != Async && c.Mode != Barrier && c.Mode != BSP:
 		return fmt.Errorf("core: unknown mode %v", c.Mode)
+	case c.Policy != sched.Cyclic && c.Policy != sched.Priority && c.Policy != sched.Random:
+		return fmt.Errorf("core: unknown policy %v", c.Policy)
 	}
 	return nil
+}
+
+func (c Config) watchdogPeriod() time.Duration {
+	if c.Watchdog == 0 {
+		return 500 * time.Millisecond
+	}
+	return c.Watchdog
 }

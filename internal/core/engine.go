@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -20,6 +21,15 @@ import (
 // cannot infer them from a concrete program type, so callers instantiate
 // explicitly, e.g. core.Run[float64, float64](g, bcd.PageRank{}, cfg).
 func Run[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*Result[V], error) {
+	return RunContext[V, M](context.Background(), g, prog, cfg)
+}
+
+// RunContext is Run with cancellation and deadline support: when ctx is
+// cancelled the engine stops scheduling, drains its workers, and returns
+// the partial result with Stats.Converged == false and a nil error. A
+// stall watchdog samples progress every Config.Watchdog period and
+// reports no-progress windows in Stats.StallWindows.
+func RunContext[V, M any](ctx context.Context, g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*Result[V], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -27,13 +37,23 @@ func Run[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*Result[
 	if err != nil {
 		return nil, err
 	}
+	e.ctx = ctx
 	start := time.Now()
+	stopWatch := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		e.watchdog(stopWatch)
+	}()
 	var converged bool
 	if cfg.Mode == BSP {
 		converged = e.runBSP()
 	} else {
 		converged = e.runBlocked()
 	}
+	close(stopWatch)
+	watch.Wait()
 	if errp := e.failure.Load(); errp != nil {
 		return nil, *errp
 	}
@@ -50,6 +70,9 @@ type engine[V, M any] struct {
 	op   bcd.OpBased[V, M]
 	cfg  Config
 	part *graph.Partition
+	// ctx carries the run's cancellation signal; the scheduling loops
+	// poll it and stop gracefully with a partial result.
+	ctx context.Context
 
 	values *word.Array[V] // vertex values, |V| entries
 	cache  *word.Array[V] // cached source values per in-edge slot, |E| entries
@@ -58,8 +81,12 @@ type engine[V, M any] struct {
 	cnt   counters
 	edges edgestore.Source
 	// failure holds the first edge-source error; the scheduler aborts the
-	// run when it is set and Run returns it.
-	failure atomic.Pointer[error]
+	// run when it is set and Run returns it. failCh is closed alongside
+	// the first fail() so goroutines parked on channel sends can abort
+	// without polling.
+	failure  atomic.Pointer[error]
+	failCh   chan struct{}
+	failOnce sync.Once
 
 	deltaPool sync.Pool // *[]float64 buffers of block size
 	dvalPool  sync.Pool // *[]V out-delta buffers (operation-based mode)
@@ -96,6 +123,7 @@ func newEngine[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*e
 		values:     word.NewArray(codec, g.NumVertices()),
 		cache:      word.NewArray(codec, g.NumEdges()),
 		st:         sched.NewState(part.NumBlocks()),
+		failCh:     make(chan struct{}),
 		valueBytes: int64(codec.Words()) * 8,
 		edgeBytes:  int64(codec.Words())*8 + 4,
 	}
@@ -171,9 +199,50 @@ func (e *engine[V, M]) stall(stage string) {
 // fail records the first edge-source error; the scheduler aborts the run.
 func (e *engine[V, M]) fail(err error) {
 	e.failure.CompareAndSwap(nil, &err)
+	e.failOnce.Do(func() { close(e.failCh) })
 }
 
 func (e *engine[V, M]) failed() bool { return e.failure.Load() != nil }
+
+// cancelled reports whether the run's context has been cancelled or has
+// passed its deadline.
+func (e *engine[V, M]) cancelled() bool {
+	return e.ctx != nil && e.ctx.Err() != nil
+}
+
+// recoverToFailure converts a worker panic into a run failure instead of
+// a process crash. Deferred at every worker-goroutine boundary; the
+// panicked worker's in-flight block stays unfinished, so the scheduler
+// exits through the failure check rather than quiescence.
+func (e *engine[V, M]) recoverToFailure() {
+	if r := recover(); r != nil {
+		e.fail(fmt.Errorf("core: worker panic: %v", r))
+	}
+}
+
+// watchdog counts sampling periods in which no vertex update happened,
+// surfacing them as Stats.StallWindows.
+func (e *engine[V, M]) watchdog(stop <-chan struct{}) {
+	period := e.cfg.watchdogPeriod()
+	if period <= 0 {
+		return
+	}
+	last := int64(-1)
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		progress := e.cnt.vertices.Load()
+		if progress == last {
+			e.cnt.stalls.Add(1)
+		}
+		last = progress
+	}
+}
 
 // task carries one processed block from GATHER-APPLY to SCATTER.
 type task struct {
@@ -189,8 +258,11 @@ func (e *engine[V, M]) runBlocked() bool {
 	e.st.ActivateAll(1)
 	scheduler, err := sched.New(e.cfg.Policy, e.st, e.cfg.Seed)
 	if err != nil {
-		// Config.Validate accepts any Policy; unknown policies surface here.
-		panic(err)
+		// Config.Validate rejects unknown policies, so this is normally
+		// unreachable — but a scheduler failure must surface as an error
+		// from Run, never crash the process.
+		e.fail(err)
+		return false
 	}
 
 	// The task queues are small FIFOs, as on the HARPv2 prototype. Their
@@ -260,7 +332,7 @@ func (e *engine[V, M]) schedule(s sched.Scheduler, accelQ chan<- int) bool {
 	for {
 		e.stall("schedule")
 		epochsSeen = e.fireEpochHook(epochsSeen)
-		if e.failed() || e.cnt.vertices.Load() >= budget {
+		if e.failed() || e.cancelled() || e.cnt.vertices.Load() >= budget {
 			return false
 		}
 		if e.st.Quiescent() {
@@ -274,7 +346,41 @@ func (e *engine[V, M]) schedule(s sched.Scheduler, accelQ chan<- int) bool {
 		}
 		spins = 0
 		e.cnt.issued.Add(1)
-		accelQ <- b
+		if !e.sendBlock(accelQ, b) {
+			return false
+		}
+	}
+}
+
+// sendBlock enqueues a claimed block, aborting if a worker failure or
+// cancellation means the queue may never drain (all consumers of a stage
+// can die when their panics are converted to run failures). The sender
+// parks — no polling — so a full queue costs nothing but a goroutine.
+func (e *engine[V, M]) sendBlock(accelQ chan<- int, b int) bool {
+	var cancel <-chan struct{}
+	if e.ctx != nil {
+		cancel = e.ctx.Done()
+	}
+	select {
+	case accelQ <- b:
+		return true
+	case <-e.failCh:
+		return false
+	case <-cancel:
+		return false
+	}
+}
+
+// sendTask hands a finished gather-apply to the scatter stage with the
+// same failure-aware discipline as sendBlock. Cancellation does not
+// abort it: the scatter stage outlives the gather stage at teardown, so
+// the send completes and the block retires cleanly in the partial result.
+func (e *engine[V, M]) sendTask(cpuQ chan<- task, t task) bool {
+	select {
+	case cpuQ <- t:
+		return true
+	case <-e.failCh:
+		return false
 	}
 }
 
@@ -307,7 +413,7 @@ func (e *engine[V, M]) scheduleBarrier(s sched.Scheduler, accelQ chan<- int) boo
 	for {
 		e.stall("schedule")
 		epochsSeen = e.fireEpochHook(epochsSeen)
-		if e.failed() || e.cnt.vertices.Load() >= budget {
+		if e.failed() || e.cancelled() || e.cnt.vertices.Load() >= budget {
 			return false
 		}
 		if e.st.Quiescent() {
@@ -321,7 +427,9 @@ func (e *engine[V, M]) scheduleBarrier(s sched.Scheduler, accelQ chan<- int) boo
 		for b := 0; b < e.part.NumBlocks(); b++ {
 			if e.st.Active(b) && !e.st.InFlight(b) && e.st.Claim(b) {
 				e.cnt.issued.Add(1)
-				accelQ <- b
+				if !e.sendBlock(accelQ, b) {
+					return false
+				}
 				wave++
 			}
 		}
@@ -337,10 +445,14 @@ func (e *engine[V, M]) scheduleBarrier(s sched.Scheduler, accelQ chan<- int) boo
 	}
 }
 
-// awaitDrain blocks until every issued task has completed its scatter.
+// awaitDrain blocks until every issued task has completed its scatter,
+// or a worker failure makes completion impossible.
 func (e *engine[V, M]) awaitDrain() {
 	spins := 0
 	for e.cnt.finished.Load() < e.cnt.issued.Load() {
+		if e.failed() {
+			return
+		}
 		idle(&spins)
 	}
 }
@@ -358,6 +470,7 @@ func idle(spins *int) {
 // peWorker is one accelerator PE (steps 3-7): dequeue block, gather-apply,
 // hand off to the CPU task queue.
 func (e *engine[V, M]) peWorker(i int, accelQ <-chan int, cpuQ chan<- task) {
+	defer e.recoverToFailure()
 	ws := newScratch(e.prog)
 	for b := range accelQ {
 		e.stall("gather")
@@ -366,7 +479,9 @@ func (e *engine[V, M]) peWorker(i int, accelQ <-chan int, cpuQ chan<- task) {
 			lo, hi := e.part.VertexRange(b)
 			sim.LeastLoadedPE().RunBlock(edges, edges*e.edgeBytes, int64(hi-lo)*e.valueBytes)
 		}
-		cpuQ <- t
+		if !e.sendTask(cpuQ, t) {
+			return
+		}
 	}
 }
 
@@ -374,6 +489,7 @@ func (e *engine[V, M]) peWorker(i int, accelQ <-chan int, cpuQ chan<- task) {
 // also steals gather-apply tasks from the accelerator queue when no
 // scatter work is pending (Sec. IV-B).
 func (e *engine[V, M]) scatterWorker(j int, cpuQ <-chan task, hybridQ <-chan int) {
+	defer e.recoverToFailure()
 	ws := newScratch(e.prog)
 	mass := make([]float64, e.part.NumBlocks())
 	touched := make([]int, 0, 64)
@@ -606,6 +722,7 @@ func (e *engine[V, M]) result(converged bool, wall time.Duration) *Result[V] {
 		ScatterWrites:  e.cnt.scatter.Load(),
 		HybridBlocks:   e.cnt.hybrid.Load(),
 		Converged:      converged,
+		StallWindows:   e.cnt.stalls.Load(),
 		WallTime:       wall,
 	}
 	if n > 0 {

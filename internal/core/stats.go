@@ -19,9 +19,13 @@ type Stats struct {
 	ScatterWrites  int64 // out-edge cache slots written by SCATTER
 	HybridBlocks   int64 // blocks processed by CPU workers (hybrid mode)
 	Epochs         float64
-	Converged      bool // false when MaxEpochs stopped the run
-	WallTime       time.Duration
-	SimTimeNs      float64 // accelerator-model makespan (0 without Sim)
+	Converged      bool // false when MaxEpochs or cancellation stopped the run
+	// StallWindows counts watchdog periods (Config.Watchdog) in which no
+	// progress was observed — a liveness signal for hung or partitioned
+	// runs that surfaces even when the run eventually completes.
+	StallWindows int64
+	WallTime     time.Duration
+	SimTimeNs    float64 // accelerator-model makespan (0 without Sim)
 }
 
 // MTEPS returns millions of traversed edges per second of wall time, the
@@ -42,6 +46,7 @@ type counters struct {
 	hybrid   atomic.Int64
 	issued   atomic.Int64 // tasks pushed to the accelerator queue
 	finished atomic.Int64 // tasks whose scatter completed
+	stalls   atomic.Int64 // watchdog periods without progress
 }
 
 // Result bundles the final vertex values with the run statistics.

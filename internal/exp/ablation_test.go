@@ -69,6 +69,7 @@ func TestAblationPolicy(t *testing.T) {
 }
 
 func TestScaleOut(t *testing.T) {
+	skipIfShort(t) // cluster-under-race coverage lives in internal/cluster and internal/chaos
 	// On a single-core host the goroutine interleaving adds large
 	// run-to-run variance to epoch counts; take the minimum over three
 	// runs per node count (the achievable convergence) before asserting

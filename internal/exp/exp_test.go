@@ -14,6 +14,18 @@ func testOpt() Options {
 	return Options{Shrink: 5, Threads: 2}
 }
 
+// skipIfShort gates the heavier experiment sweeps out of -short runs.
+// scripts/check.sh runs the blanket race-detector pass with -short
+// because instrumentation slows these numeric sweeps ~35x, pushing the
+// package past go test's timeout; a representative subset (Table1, Fig6,
+// Fig8, the ablations) still runs under race for concurrency coverage,
+// and plain `go test ./...` always runs everything.
+func skipIfShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+}
+
 func TestTable1(t *testing.T) {
 	var buf bytes.Buffer
 	opt := testOpt()
@@ -36,6 +48,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig4Shapes(t *testing.T) {
+	skipIfShort(t)
 	rows, err := Fig4(testOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +118,7 @@ func itoa(v int) string {
 }
 
 func TestTable3Shapes(t *testing.T) {
+	skipIfShort(t)
 	rows, err := Table3(testOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -144,6 +158,7 @@ func TestTable3Shapes(t *testing.T) {
 }
 
 func TestFig5Shapes(t *testing.T) {
+	skipIfShort(t)
 	pts, err := Fig5(testOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -181,6 +196,7 @@ func TestFig5Shapes(t *testing.T) {
 }
 
 func TestTable2Shapes(t *testing.T) {
+	skipIfShort(t)
 	rows, err := Table2(testOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -233,6 +249,7 @@ func TestFig6Shapes(t *testing.T) {
 }
 
 func TestFig7Shapes(t *testing.T) {
+	skipIfShort(t)
 	rows, err := Fig7(testOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -285,6 +302,7 @@ func TestFig8Shapes(t *testing.T) {
 }
 
 func TestFig9Shapes(t *testing.T) {
+	skipIfShort(t)
 	traffic, utils, err := Fig9(testOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -310,6 +328,7 @@ func TestFig9Shapes(t *testing.T) {
 }
 
 func TestFig10Shapes(t *testing.T) {
+	skipIfShort(t)
 	rows, err := Fig10(testOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -338,6 +357,7 @@ func TestFig10Shapes(t *testing.T) {
 }
 
 func TestTable4(t *testing.T) {
+	skipIfShort(t)
 	// Table4's on-chip vs shared contrast is a property of realistic graph
 	// sizes; run it closer to the full analogs (it only builds partitions,
 	// no engine runs, so this stays fast).

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"graphabcd/internal/bcd"
 	"graphabcd/internal/cluster"
 	"graphabcd/internal/metrics"
@@ -56,7 +58,7 @@ func ScaleOut(opt Options) ([]ScaleOutRow, error) {
 			Epsilon:        prEps(g),
 			BatchSize:      64,
 		}
-		res, err := cluster.Run[float64, float64](g, bcd.PageRank{}, cfg)
+		res, err := cluster.Run[float64, float64](context.Background(), g, bcd.PageRank{}, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -316,7 +316,7 @@ func (a cfAdapter) Send(v uint32, val []float32, g *graph.Graph) (CFMsg, bool) {
 	// Defer expansion: pack the factor into B and mark A nil; Process
 	// finishes the job. This keeps Send cheap for high-degree vertices.
 	k := len(val)
-	b := make([]float64, k)
+	b := make([]float64, k) //abcdlint:ignore hotalloc -- false positive: name-based interface resolution reaches this from cluster.Transport.Send; graphmat's sweep never runs under the cluster's hot roots
 	for i := range val {
 		b[i] = float64(val[i])
 	}
