@@ -34,6 +34,7 @@ import (
 	"graphabcd/internal/gen"
 	"graphabcd/internal/graph"
 	"graphabcd/internal/sched"
+	"graphabcd/internal/telemetry"
 )
 
 func main() {
@@ -75,6 +76,12 @@ func run() error {
 		chaosSeed  = flag.Uint64("chaos-seed", 1, "distributed: fault-injection PRNG seed")
 		failNode   = flag.Int("fail-node", -1, "distributed: kill this node mid-run (-1 = none)")
 		failAfter  = flag.Int64("fail-after", 200, "distributed: batches carried before -fail-node is killed")
+
+		useTel      = flag.Bool("telemetry", false, "enable stage histograms and the post-run telemetry report")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of sampled block lifecycles to this file")
+		traceSample = flag.Int("trace-sample", 16, "trace every Nth block id (1 = every block)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live expvar metrics and pprof on this address (e.g. :6060)")
+		progress    = flag.Bool("progress", false, "print a 1 Hz status line to stderr while the run executes")
 	)
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "source" {
@@ -110,8 +117,25 @@ func run() error {
 		src = maxOutDegreeVertex(g)
 	}
 
+	tOpts := telemetryOpts{
+		enabled:     *useTel,
+		tracePath:   *tracePath,
+		traceSample: *traceSample,
+		metricsAddr: *metricsAddr,
+		progress:    *progress,
+	}
+	var tses *telemetrySession
+	var telReg *telemetry.Registry
+	if tOpts.active() {
+		if tses, err = startTelemetry(tOpts); err != nil {
+			return err
+		}
+		telReg = tses.reg
+	}
+
 	if *nodes > 1 {
-		return runDistributed(ctx, g, distOpts{
+		err := runDistributed(ctx, g, distOpts{
+			tel:       telReg,
 			algo:      *algo,
 			src:       src,
 			top:       *top,
@@ -128,6 +152,10 @@ func run() error {
 			failNode:  *failNode,
 			failAfter: *failAfter,
 		})
+		if tses != nil {
+			tses.finish()
+		}
+		return err
 	}
 
 	edges, cleanup, err := openEdgeStore(g, *store)
@@ -145,6 +173,7 @@ func run() error {
 		MaxEpochs:  *maxEpochs,
 		Seed:       1,
 		Edges:      edges,
+		Telemetry:  telReg,
 	}
 	switch *mode {
 	case "async":
@@ -246,11 +275,15 @@ func run() error {
 		fmt.Printf("sim time: %.3f ms\nbus util: %.1f%%\nPE util: %.1f%%\nbus bytes: %d\n",
 			stats.SimTimeNs/1e6, 100*sim.BusUtilization(), 100*sim.PEUtilization(), sim.BusBytes())
 	}
+	if tses != nil {
+		tses.finish()
+	}
 	return nil
 }
 
 // distOpts carries the distributed-run flag values.
 type distOpts struct {
+	tel       *telemetry.Registry
 	algo      string
 	src       uint32
 	top       int
@@ -277,6 +310,7 @@ func runDistributed(ctx context.Context, g *graph.Graph, o distOpts) error {
 		BatchSize:      o.batch,
 		Epsilon:        o.eps,
 		MaxEpochs:      o.maxEpochs,
+		Telemetry:      o.tel,
 	}
 	if o.drop > 0 || o.dup > 0 || o.delay > 0 || o.failNode >= 0 {
 		tcfg := chaos.Config{

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"sort"
+	"time"
+
+	"graphabcd/internal/metrics"
+	"graphabcd/internal/telemetry"
+)
+
+// telemetryOpts carries the observability flag values.
+type telemetryOpts struct {
+	enabled     bool   // -telemetry: histograms + post-run report
+	tracePath   string // -trace: Chrome trace-event JSON output file
+	traceSample int    // -trace-sample: trace every Nth block id
+	metricsAddr string // -metrics-addr: expvar + pprof HTTP listener
+	progress    bool   // -progress: 1 Hz status line on stderr
+}
+
+// active reports whether any observability feature was requested.
+func (o telemetryOpts) active() bool {
+	return o.enabled || o.tracePath != "" || o.metricsAddr != "" || o.progress
+}
+
+// telemetrySession owns the run's registry and the resources behind it:
+// the trace file, the metrics listener, and the progress printer.
+type telemetrySession struct {
+	reg       *telemetry.Registry
+	tracer    *telemetry.Tracer
+	traceFile *os.File
+	tracePath string
+	listener  net.Listener
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// startTelemetry builds the registry and starts whatever the flags asked
+// for. On error everything already started is torn down.
+func startTelemetry(o telemetryOpts) (*telemetrySession, error) {
+	s := &telemetrySession{}
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		s.traceFile = f
+		s.tracePath = o.tracePath
+		s.tracer = telemetry.NewTracer(f, o.traceSample)
+	}
+	s.reg = telemetry.New(telemetry.Options{Histograms: true, Tracer: s.tracer})
+
+	if o.metricsAddr != "" {
+		// expvar's import hook puts /debug/vars on the default mux and
+		// the pprof import puts /debug/pprof/* there, so serving the
+		// default mux exposes both; the snapshot var joins them here.
+		expvar.Publish("graphabcd", expvar.Func(func() any { return s.reg.Snapshot() }))
+		ln, err := net.Listen("tcp", o.metricsAddr)
+		if err != nil {
+			s.closeTrace()
+			return nil, fmt.Errorf("metrics-addr: %w", err)
+		}
+		s.listener = ln
+		fmt.Printf("metrics: http://%s/debug/vars (pprof at /debug/pprof/)\n", ln.Addr())
+		go func() {
+			_ = http.Serve(ln, nil) // closed by session shutdown
+		}()
+	}
+
+	if o.progress {
+		s.stop = make(chan struct{})
+		s.done = make(chan struct{})
+		go s.progressLoop()
+	}
+	return s, nil
+}
+
+// progressLoop prints a one-line status to stderr once per second while
+// the run executes.
+func (s *telemetrySession) progressLoop() {
+	defer close(s.done)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			snap := s.reg.Snapshot()
+			fmt.Fprintf(os.Stderr,
+				"progress: t=%s epoch=%.2f residual=%.3g active=%d accelQ=%.0f cpuQ=%.0f %.1f MTEPS\n",
+				metrics.FormatDuration(snap.ElapsedSec), snap.Epochs, snap.Residual,
+				snap.ActiveBlocks, snap.Gauges["accel_queue_depth"], snap.Gauges["cpu_queue_depth"],
+				snap.MTEPS)
+		}
+	}
+}
+
+// closeTrace finalizes the trace JSON and closes the file.
+func (s *telemetrySession) closeTrace() {
+	if s.tracer != nil {
+		if err := s.tracer.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "graphabcd: trace:", err)
+		}
+		s.tracer = nil
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "graphabcd: trace:", err)
+		}
+		s.traceFile = nil
+	}
+}
+
+// finish stops the live outputs, finalizes the trace, and prints the
+// post-run telemetry report. Call it once, after the run returns.
+func (s *telemetrySession) finish() {
+	if s.stop != nil {
+		close(s.stop)
+		<-s.done
+	}
+	if s.listener != nil {
+		_ = s.listener.Close()
+	}
+	dropped := int64(0)
+	if s.tracer != nil {
+		dropped = s.tracer.Dropped()
+	}
+	s.closeTrace()
+	if s.tracePath != "" {
+		fmt.Printf("trace: wrote %s (load in chrome://tracing or ui.perfetto.dev)", s.tracePath)
+		if dropped > 0 {
+			fmt.Printf(", %d events dropped", dropped)
+		}
+		fmt.Println()
+	}
+	s.printReport()
+}
+
+// printReport renders the stage-latency table and the convergence
+// sparkline from the registry's final state.
+func (s *telemetrySession) printReport() {
+	snap := s.reg.Snapshot()
+	if len(snap.Stages) > 0 {
+		fmt.Println("stage latencies:")
+		t := metrics.NewTable(os.Stdout, "  stage", "count", "mean", "p50", "p95", "p99", "max")
+		names := make([]string, 0, len(snap.Stages))
+		for name := range snap.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := snap.Stages[name]
+			if name == telemetry.StageStaleness.Name() {
+				// Staleness is in milli-epochs, not nanoseconds.
+				t.Row("  "+name, st.Count,
+					fmt.Sprintf("%.1fme", st.Mean), fmt.Sprintf("%dme", st.P50),
+					fmt.Sprintf("%dme", st.P95), fmt.Sprintf("%dme", st.P99),
+					fmt.Sprintf("%dme", st.Max))
+				continue
+			}
+			t.Row("  "+name, st.Count,
+				metrics.FormatDuration(st.Mean/1e9), metrics.FormatDuration(float64(st.P50)/1e9),
+				metrics.FormatDuration(float64(st.P95)/1e9), metrics.FormatDuration(float64(st.P99)/1e9),
+				metrics.FormatDuration(float64(st.Max)/1e9))
+		}
+		if err := t.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "graphabcd: report:", err)
+		}
+	}
+	conv := s.reg.Convergence()
+	if len(conv) > 0 {
+		res := make([]float64, len(conv))
+		act := make([]float64, len(conv))
+		for i, c := range conv {
+			res[i] = c.Residual
+			act[i] = float64(c.ActiveBlocks)
+		}
+		fmt.Printf("convergence (%d epochs):\n", conv[len(conv)-1].Epoch)
+		fmt.Printf("  residual      %s  %.3g -> %.3g\n", metrics.Sparkline(res, 48), res[0], res[len(res)-1])
+		fmt.Printf("  active blocks %s  %.0f -> %.0f\n", metrics.Sparkline(act, 48), act[0], act[len(act)-1])
+	}
+}

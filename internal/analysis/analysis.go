@@ -28,6 +28,7 @@ import (
 const (
 	atomicWordName = "atomicword"
 	hotAllocName   = "hotalloc"
+	hotPathName    = "hotpath"
 	lockSafeName   = "locksafe"
 	errCheckName   = "errcheck"
 	goroutineName  = "goroutine"
@@ -78,7 +79,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomicWord, HotAlloc, LockSafe, ErrCheck, GoroutineHygiene}
+	return []*Analyzer{AtomicWord, HotAlloc, HotPath, LockSafe, ErrCheck, GoroutineHygiene}
 }
 
 // ByName returns the analyzer with the given rule name, or nil.

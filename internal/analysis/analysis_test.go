@@ -26,6 +26,7 @@ var fixtureCases = []struct {
 		cfg:  &Config{HotRoots: []string{"src/hotalloc:HotLoop"}},
 		dirs: []string{"testdata/src/hotalloc"},
 	},
+	{name: "hotpath", rule: "hotpath", dirs: []string{"testdata/src/hotpath"}},
 	{name: "locksafe", rule: "locksafe", dirs: []string{"testdata/src/locksafe"}},
 	{name: "errcheck", rule: "errcheck", dirs: []string{"testdata/src/errcheck"}},
 	{name: "goroutine", rule: "goroutine", dirs: []string{"testdata/src/goroutine"}},

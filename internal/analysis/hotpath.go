@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPath enforces the `//abcd:hotpath` annotation: a function so marked
+// declares itself part of the engine's per-block fast path (the
+// GATHER-APPLY and SCATTER chains and the telemetry write paths that ride
+// on them), and its body must neither allocate nor touch a mutex. Unlike
+// hotalloc — which discovers hot code by call-graph reachability from
+// configured roots — hotpath is a lexical contract on the annotated
+// function itself: the annotation is documentation the analyzer keeps
+// honest. Allocation sites use the same classification as hotalloc
+// (make/new/append, fmt, word.Array's allocating conveniences); lock use
+// flags any sync.Mutex / sync.RWMutex method call, because the hot path's
+// concurrency discipline is atomics and single-writer shards only
+// (DESIGN.md §7, §9). Deliberate amortized allocations are suppressed
+// with a reason, as everywhere in the suite.
+var HotPath = &Analyzer{
+	Name: hotPathName,
+	Doc:  "flags allocations and mutex use inside //abcd:hotpath functions",
+	Run:  runHotPath,
+}
+
+// hotPathDirective is the annotation the rule looks for in a function's
+// doc comment group.
+const hotPathDirective = "//abcd:hotpath"
+
+func runHotPath(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPathFunc(fd) {
+				continue
+			}
+			checkHotPathBody(pass, fd)
+		}
+	}
+}
+
+// isHotPathFunc reports whether fd carries the //abcd:hotpath directive.
+func isHotPathFunc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotPathBody flags every allocation site and mutex method call in
+// the annotated function's body, including inside deferred calls and
+// function literals (they run on the same path).
+func checkHotPathBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if msg := allocMessage(info, call); msg != "" {
+			pass.Report(Diagnostic{Pos: call.Pos(), Rule: hotPathName,
+				Message: fmt.Sprintf("%s in //abcd:hotpath function %s; %s", msg, name, allocAdvice(msg))})
+		}
+		if lock := hotPathMutexCall(info, call); lock != "" {
+			pass.Report(Diagnostic{Pos: call.Pos(), Rule: hotPathName,
+				Message: fmt.Sprintf("%s in //abcd:hotpath function %s; the hot path is lock-free — use atomics or a per-worker telemetry shard", lock, name)})
+		}
+		return true
+	})
+}
+
+// hotPathMutexCall classifies a call as a sync.Mutex / sync.RWMutex method,
+// returning "sync.Mutex.Lock"-style text or "".
+func hotPathMutexCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	named := namedRecvType(sig.Recv().Type())
+	if named == nil {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex":
+		return "sync." + obj.Name() + "." + fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,21 @@
+package hotpath
+
+import "sync/atomic"
+
+type shard struct {
+	n atomic.Int64
+}
+
+// Add is the shape the annotation exists for: an uncontended atomic write
+// with no allocation and no lock.
+//
+//abcd:hotpath
+func (s *shard) Add(delta int64) {
+	s.n.Add(delta)
+}
+
+// NotAnnotated allocates and locks freely: without the directive the rule
+// has no opinion.
+func NotAnnotated(n int) []int {
+	return make([]int, n)
+}

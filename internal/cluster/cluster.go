@@ -41,6 +41,7 @@ import (
 	"graphabcd/internal/bcd"
 	"graphabcd/internal/core"
 	"graphabcd/internal/graph"
+	"graphabcd/internal/telemetry"
 )
 
 // Config parameterizes a distributed run.
@@ -87,6 +88,14 @@ type Config struct {
 	// after the workers start — the hook from which tests and chaos
 	// harnesses schedule mid-run node failures.
 	OnStart func(Control)
+	// Telemetry, when non-nil, is the live instrumentation registry the
+	// run emits into (internal/telemetry): the same registry the single-
+	// node engine uses, extended with the cluster counters (messages,
+	// batches, retries, drops, node failures) and per-batch StageApply
+	// latency. The caller may read Registry.Snapshot concurrently while
+	// the run executes. When nil the cluster uses a private bare-counter
+	// registry that only feeds Stats.
+	Telemetry *telemetry.Registry
 }
 
 // Validate reports configuration errors.

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"fmt"
+
+	"graphabcd/internal/telemetry"
 )
 
 // Control is the live handle Config.OnStart receives once the run's
@@ -24,7 +26,7 @@ type Control interface {
 }
 
 func (c *clusterRun[V, M]) LiveNodes() int     { return int(c.liveNodes.Load()) }
-func (c *clusterRun[V, M]) BatchesSent() int64 { return c.batches.Load() }
+func (c *clusterRun[V, M]) BatchesSent() int64 { return c.tel.Total(telemetry.CtrBatchesSent) }
 
 // FailNode implements Control. The recovery argument mirrors the paper's
 // correctness story: vertex values are the ground truth of a state-based
@@ -56,7 +58,7 @@ func (c *clusterRun[V, M]) FailNode(id int) error {
 	// abandoned" and "compensating re-activations registered".
 	c.recovering.Add(1)
 	defer c.recovering.Add(-1)
-	c.failedN.Add(1)
+	c.sh0.Add(telemetry.CtrNodesFailed, 1)
 	c.liveNodes.Add(-1)
 
 	// 1. Kill: the node's workers observe the flag and exit; its applier
@@ -85,7 +87,7 @@ func (c *clusterRun[V, M]) FailNode(id int) error {
 	}
 	n.unackedMu.Unlock()
 	if orphans > 0 {
-		c.dropped.Add(int64(orphans))
+		c.sh0.Add(telemetry.CtrBatchesDropped, int64(orphans))
 		c.inflight.Add(int64(-orphans))
 	}
 

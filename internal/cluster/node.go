@@ -11,6 +11,7 @@ import (
 	"graphabcd/internal/core"
 	"graphabcd/internal/graph"
 	"graphabcd/internal/sched"
+	"graphabcd/internal/telemetry"
 	"graphabcd/internal/word"
 )
 
@@ -43,24 +44,24 @@ type clusterRun[V, M any] struct {
 	// slots, so ownership changes are atomic w.r.t. block processing.
 	fence sync.RWMutex
 
-	// Distributed-termination accounting (see checkQuiescence).
+	// Distributed-termination accounting (see checkQuiescence). These
+	// stay exact single atomics: the quiescence protocol needs a
+	// linearizable counter, not the monotone-but-merged view a sharded
+	// sum gives. Only the stats counters below moved into telemetry
+	// shards.
 	seq        atomic.Uint64 // logical batch ids / write stamps
 	totalSent  atomic.Int64  // monotone count of logical batches ever created
 	inflight   atomic.Int64  // batches created but neither acked nor abandoned
 	recovering atomic.Int64  // FailNode calls currently rebuilding state
 
-	// Work accounting.
-	vertices atomic.Int64
-	blocks   atomic.Int64
-	edges    atomic.Int64
-
-	msgs    atomic.Int64 // remote slot updates
-	batches atomic.Int64
-	localW  atomic.Int64 // node-local scatter writes
-	retried atomic.Int64 // batch retransmissions
-	dropped atomic.Int64 // batches abandoned at failed nodes
-	failedN atomic.Int64 // nodes killed by FailNode
-	stalls  atomic.Int64 // watchdog periods without progress
+	// Work accounting lands in per-worker telemetry shards: shard 0
+	// belongs to the run's auxiliary goroutines (retry loop, watchdog,
+	// failover), shards 1..Nodes*WorkersPerNode to the workers, and the
+	// last Nodes shards to the appliers (which also observe StageApply
+	// batch-application latency when timing is on).
+	tel    *telemetry.Registry
+	shards []telemetry.Shard
+	sh0    *telemetry.Shard
 
 	liveNodes atomic.Int64
 
@@ -152,8 +153,33 @@ func newCluster[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*
 		}
 	}
 	c.liveNodes.Store(int64(cfg.Nodes))
+	c.tel = cfg.Telemetry
+	if c.tel == nil {
+		c.tel = telemetry.New(telemetry.Options{})
+	}
+	c.shards = c.tel.Shards(1 + cfg.Nodes*cfg.WorkersPerNode + cfg.Nodes)
+	c.sh0 = &c.shards[0]
+	c.tel.SetVertices(g.NumVertices())
+	c.tel.RegisterGauge("live_nodes", func() float64 { return float64(c.liveNodes.Load()) })
+	c.tel.RegisterGauge("inflight_batches", func() float64 { return float64(c.inflight.Load()) })
 	c.initArrays()
 	return c, nil
+}
+
+// workerShard returns worker w of node n's telemetry shard.
+func (c *clusterRun[V, M]) workerShard(nodeID, w int) *telemetry.Shard {
+	return &c.shards[1+nodeID*c.cfg.WorkersPerNode+w]
+}
+
+// applierShard returns node n's applier shard.
+func (c *clusterRun[V, M]) applierShard(nodeID int) *telemetry.Shard {
+	return &c.shards[1+c.cfg.Nodes*c.cfg.WorkersPerNode+nodeID]
+}
+
+// vertexUpdates is the cross-shard total driving the budget checks and
+// the watchdog.
+func (c *clusterRun[V, M]) vertexUpdates() int64 {
+	return c.tel.Total(telemetry.CtrVertexUpdates)
 }
 
 func (c *clusterRun[V, M]) owner(b int) int { return int(c.blockOwner[b].Load()) }
@@ -202,15 +228,15 @@ func (c *clusterRun[V, M]) run(ctx context.Context) (*Result[V], error) {
 		go func(n *node[V, M]) {
 			defer appliers.Done()
 			defer c.recoverToFailure()
-			c.applyLoop(n)
+			c.applyLoop(n, c.applierShard(n.id))
 		}(n)
 		for w := 0; w < c.cfg.WorkersPerNode; w++ {
 			workers.Add(1)
-			go func(n *node[V, M]) {
+			go func(n *node[V, M], w int) {
 				defer workers.Done()
 				defer c.recoverToFailure()
-				c.workerLoop(n)
-			}(n)
+				c.workerLoop(n, c.workerShard(n.id, w))
+			}(n, w)
 		}
 	}
 	aux.Add(1)
@@ -250,24 +276,29 @@ func (c *clusterRun[V, M]) run(ctx context.Context) (*Result[V], error) {
 	if fc, ok := c.transport.(FaultCounter); ok {
 		tDropped, tDuplicated = fc.FaultCounts()
 	}
+	// Fold the transport's own fault counts into the registry so a live
+	// Snapshot and the final Stats agree.
+	c.sh0.Add(telemetry.CtrBatchesDropped, tDropped)
+	c.sh0.Add(telemetry.CtrBatchesDuplicated, tDuplicated)
+	t := c.tel.CounterTotals()
 	res.Stats = Stats{
 		Stats: core.Stats{
-			BlockUpdates:   c.blocks.Load(),
-			VertexUpdates:  c.vertices.Load(),
-			EdgesTraversed: c.edges.Load(),
-			ScatterWrites:  c.localW.Load() + c.msgs.Load(),
+			BlockUpdates:   t[telemetry.CtrBlockUpdates],
+			VertexUpdates:  t[telemetry.CtrVertexUpdates],
+			EdgesTraversed: t[telemetry.CtrEdgesTraversed],
+			ScatterWrites:  t[telemetry.CtrLocalWrites] + t[telemetry.CtrMessagesSent],
 			Converged:      c.converged.Load(),
-			StallWindows:   c.stalls.Load(),
+			StallWindows:   t[telemetry.CtrStallWindows],
 			WallTime:       time.Since(start),
 		},
 		Nodes:             c.cfg.Nodes,
-		MessagesSent:      c.msgs.Load(),
-		BatchesSent:       c.batches.Load(),
-		LocalWrites:       c.localW.Load(),
-		BatchesRetried:    c.retried.Load(),
-		BatchesDropped:    c.dropped.Load() + tDropped,
-		BatchesDuplicated: tDuplicated,
-		NodesFailed:       c.failedN.Load(),
+		MessagesSent:      t[telemetry.CtrMessagesSent],
+		BatchesSent:       t[telemetry.CtrBatchesSent],
+		LocalWrites:       t[telemetry.CtrLocalWrites],
+		BatchesRetried:    t[telemetry.CtrBatchesRetried],
+		BatchesDropped:    t[telemetry.CtrBatchesDropped],
+		BatchesDuplicated: t[telemetry.CtrBatchesDuplicated],
+		NodesFailed:       t[telemetry.CtrNodesFailed],
 	}
 	if nv > 0 {
 		res.Stats.Epochs = float64(res.Stats.VertexUpdates) / float64(nv)
@@ -306,7 +337,7 @@ func (c *clusterRun[V, M]) deliverLocal(to int, e Envelope) {
 
 // workerLoop is one node-local fused gather-apply-scatter worker, cycling
 // over the blocks its node currently owns.
-func (c *clusterRun[V, M]) workerLoop(n *node[V, M]) {
+func (c *clusterRun[V, M]) workerLoop(n *node[V, M], sh *telemetry.Shard) {
 	sch, err := sched.New(sched.Cyclic, n.st, uint64(n.id)+1)
 	if err != nil {
 		c.fail(fmt.Errorf("cluster: node %d scheduler: %w", n.id, err))
@@ -315,7 +346,7 @@ func (c *clusterRun[V, M]) workerLoop(n *node[V, M]) {
 	ws := newWorkerState(c.prog, c.cfg)
 	spins := 0
 	for {
-		nap := c.workerStep(n, sch, ws, &spins)
+		nap := c.workerStep(n, sch, ws, sh, &spins)
 		if nap < 0 {
 			return
 		}
@@ -330,13 +361,13 @@ func (c *clusterRun[V, M]) workerLoop(n *node[V, M]) {
 // workerStep runs one claim-process-done iteration under the failover
 // fence. It returns a backoff duration (0 = progress was made), or a
 // negative duration when the worker should exit.
-func (c *clusterRun[V, M]) workerStep(n *node[V, M], sch sched.Scheduler, ws *workerState[V, M], spins *int) time.Duration {
+func (c *clusterRun[V, M]) workerStep(n *node[V, M], sch sched.Scheduler, ws *workerState[V, M], sh *telemetry.Shard, spins *int) time.Duration {
 	c.fence.RLock()
 	defer c.fence.RUnlock()
 	if c.stopping.Load() || n.failed.Load() {
 		return -1
 	}
-	if c.vertices.Load() >= c.budget {
+	if c.vertexUpdates() >= c.budget {
 		// Workers police the budget themselves; the coordinator's
 		// polling interval would otherwise allow a large overshoot.
 		c.stopping.Store(true)
@@ -352,7 +383,7 @@ func (c *clusterRun[V, M]) workerStep(n *node[V, M], sch sched.Scheduler, ws *wo
 		return 50 * time.Microsecond
 	}
 	*spins = 0
-	c.processBlock(n, b, ws)
+	c.processBlock(n, b, ws, sh)
 	n.st.Done(b)
 	return 0
 }
@@ -381,10 +412,13 @@ func newWorkerState[V, M any](prog bcd.Program[V, M], cfg Config) *workerState[V
 }
 
 // processBlock runs the fused GAS chain for one global block on node n.
-func (c *clusterRun[V, M]) processBlock(n *node[V, M], b int, ws *workerState[V, M]) {
+// Work counters land in the calling worker's telemetry shard sh.
+//
+//abcd:hotpath
+func (c *clusterRun[V, M]) processBlock(n *node[V, M], b int, ws *workerState[V, M], sh *telemetry.Shard) {
 	lo, hi := c.part.VertexRange(b)
 	if cap(ws.deltas) < hi-lo {
-		ws.deltas = make([]float64, hi-lo)
+		ws.deltas = make([]float64, hi-lo) //abcdlint:ignore hotpath -- amortized: grows once to the largest owned block, then reused
 	}
 	deltas := ws.deltas[:hi-lo]
 	var edges int64
@@ -408,9 +442,9 @@ func (c *clusterRun[V, M]) processBlock(n *node[V, M], b int, ws *workerState[V,
 			c.prog.ScatterValue(uint32(v), newVal, c.g))
 		c.values.StoreBuf(int64(v), newVal, ws.buf)
 	}
-	c.blocks.Add(1)
-	c.vertices.Add(int64(hi - lo))
-	c.edges.Add(edges)
+	sh.Add(telemetry.CtrBlockUpdates, 1)
+	sh.Add(telemetry.CtrVertexUpdates, int64(hi-lo))
+	sh.Add(telemetry.CtrEdgesTraversed, edges)
 
 	// Scatter: local slots store directly; remote slots batch into
 	// state-based messages for their owner node.
@@ -430,21 +464,21 @@ func (c *clusterRun[V, M]) processBlock(n *node[V, M], b int, ws *workerState[V,
 			if owner == n.id {
 				c.cache.StoreBuf(slot, sval, ws.buf)
 				n.st.Activate(db, d)
-				c.localW.Add(1)
+				sh.Add(telemetry.CtrLocalWrites, 1)
 				continue
 			}
 			p := &ws.pending[owner]
-			p.slots = append(p.slots, slot)        //abcdlint:ignore hotalloc -- amortized: flush resets the batch to [:0], capacity is retained
-			p.blocks = append(p.blocks, int32(db)) //abcdlint:ignore hotalloc -- amortized: flush resets the batch to [:0], capacity is retained
-			p.words = append(p.words, ws.enc...)   //abcdlint:ignore hotalloc -- amortized: flush resets the batch to [:0], capacity is retained
+			p.slots = append(p.slots, slot)        //abcdlint:ignore hotalloc,hotpath -- amortized: flush resets the batch to [:0], capacity is retained
+			p.blocks = append(p.blocks, int32(db)) //abcdlint:ignore hotalloc,hotpath -- amortized: flush resets the batch to [:0], capacity is retained
+			p.words = append(p.words, ws.enc...)   //abcdlint:ignore hotalloc,hotpath -- amortized: flush resets the batch to [:0], capacity is retained
 			if len(p.slots) >= c.cfg.batchSize() {
-				c.flush(n, owner, p)
+				c.flush(n, owner, p, sh)
 			}
 		}
 	}
 	for owner := range ws.pending {
 		if len(ws.pending[owner].slots) > 0 {
-			c.flush(n, owner, &ws.pending[owner])
+			c.flush(n, owner, &ws.pending[owner], sh)
 		}
 	}
 }
@@ -454,7 +488,7 @@ func (c *clusterRun[V, M]) processBlock(n *node[V, M], b int, ws *workerState[V,
 // matters for termination: totalSent and inflight rise before the send,
 // and inflight falls only when the ack comes back (or the destination
 // dies and the failover rebuild takes over the batch's duty).
-func (c *clusterRun[V, M]) flush(n *node[V, M], owner int, p *batch) {
+func (c *clusterRun[V, M]) flush(n *node[V, M], owner int, p *batch, sh *telemetry.Shard) {
 	now := time.Now()
 	e := Envelope{
 		kind:   envData,
@@ -468,8 +502,8 @@ func (c *clusterRun[V, M]) flush(n *node[V, M], owner int, p *batch) {
 	p.slots, p.blocks, p.words = p.slots[:0], p.blocks[:0], p.words[:0]
 	c.totalSent.Add(1)
 	c.inflight.Add(1)
-	c.msgs.Add(int64(len(e.slots)))
-	c.batches.Add(1)
+	sh.Add(telemetry.CtrMessagesSent, int64(len(e.slots)))
+	sh.Add(telemetry.CtrBatchesSent, 1)
 	n.unackedMu.Lock()
 	n.unacked[e.id] = &pending{ //abcdlint:ignore hotalloc -- at-least-once bookkeeping: one entry per batch, amortized over BatchSize slot updates
 		to:        owner,
@@ -484,7 +518,7 @@ func (c *clusterRun[V, M]) flush(n *node[V, M], owner int, p *batch) {
 // applyLoop consumes a node's inbox until the node fails (after which it
 // discards traffic so senders never block on a dead node) or the run's
 // done channel closes at shutdown.
-func (c *clusterRun[V, M]) applyLoop(n *node[V, M]) {
+func (c *clusterRun[V, M]) applyLoop(n *node[V, M], sh *telemetry.Shard) {
 	as := &applyScratch[V]{buf: make([]uint64, max(c.cache.Words(), 2))}
 	for {
 		select {
@@ -501,7 +535,9 @@ func (c *clusterRun[V, M]) applyLoop(n *node[V, M]) {
 		case e := <-n.inbox:
 			n.applyMu.Lock()
 			if !n.failed.Load() {
+				start := c.tel.Stamp()
 				c.handleEnvelope(n, e, as)
+				sh.Observe(telemetry.StageApply, c.tel.Stamp()-start)
 			}
 			n.applyMu.Unlock()
 		}
@@ -607,11 +643,11 @@ func (c *clusterRun[V, M]) retryLoop() {
 			}
 			n.unackedMu.Unlock()
 			if abandoned > 0 {
-				c.dropped.Add(int64(abandoned))
+				c.sh0.Add(telemetry.CtrBatchesDropped, int64(abandoned))
 				c.inflight.Add(int64(-abandoned))
 			}
 			for _, r := range due {
-				c.retried.Add(1)
+				c.sh0.Add(telemetry.CtrBatchesRetried, 1)
 				c.transport.Send(n.id, r.to, r.env)
 			}
 		}
@@ -640,9 +676,9 @@ func (c *clusterRun[V, M]) watchdog() {
 			}
 			time.Sleep(step)
 		}
-		progress := c.vertices.Load() + c.totalSent.Load() - c.inflight.Load()
+		progress := c.vertexUpdates() + c.totalSent.Load() - c.inflight.Load()
 		if progress == last {
-			c.stalls.Add(1)
+			c.sh0.Add(telemetry.CtrStallWindows, 1)
 		}
 		last = progress
 	}
@@ -665,7 +701,7 @@ func (c *clusterRun[V, M]) coordinate(ctx context.Context) {
 			return
 		default:
 		}
-		if c.vertices.Load() >= c.budget {
+		if c.vertexUpdates() >= c.budget {
 			c.stopping.Store(true)
 			return
 		}

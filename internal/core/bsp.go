@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"graphabcd/internal/telemetry"
+)
 
 // runBSP executes the Bulk Synchronous Processing baseline: block size
 // |V|, a full Jacobi sweep per iteration, and a global barrier between the
@@ -30,7 +34,7 @@ func (e *engine[V, M]) runBSP() bool {
 	epochsSeen := 0
 	for {
 		epochsSeen = e.fireEpochHook(epochsSeen)
-		if e.failed() || e.cancelled() || e.cnt.vertices.Load() >= budget {
+		if e.failed() || e.cancelled() || e.vertexUpdates() >= budget {
 			return false
 		}
 		e.stall("schedule")
@@ -44,6 +48,7 @@ func (e *engine[V, M]) runBSP() bool {
 				defer wg.Done()
 				defer e.recoverToFailure()
 				e.stall("gather")
+				sh := &e.shards[1+w]
 				ws := newScratch(e.prog)
 				vlo, vhi := starts[w], starts[w+1]
 				if vlo == vhi {
@@ -86,8 +91,8 @@ func (e *engine[V, M]) runBSP() bool {
 					}
 					e.values.StoreBuf(int64(v), newVal, ws.buf)
 				}
-				e.cnt.vertices.Add(int64(starts[w+1] - starts[w]))
-				e.cnt.edges.Add(edges)
+				sh.Add(telemetry.CtrVertexUpdates, int64(starts[w+1]-starts[w]))
+				sh.Add(telemetry.CtrEdgesTraversed, edges)
 				if sim := e.cfg.Sim; sim != nil {
 					sim.LeastLoadedPE().RunBlock(edges, edges*e.edgeBytes,
 						int64(starts[w+1]-starts[w])*e.valueBytes)
@@ -95,7 +100,7 @@ func (e *engine[V, M]) runBSP() bool {
 			}(w)
 		}
 		wg.Wait() // global memory barrier #1
-		e.cnt.blocks.Add(1)
+		e.sh0.Add(telemetry.CtrBlockUpdates, 1)
 		if sim := e.cfg.Sim; sim != nil {
 			sim.Barrier()
 		}
@@ -114,6 +119,7 @@ func (e *engine[V, M]) runBSP() bool {
 				defer wg.Done()
 				defer e.recoverToFailure()
 				e.stall("scatter")
+				sh := &e.shards[1+e.cfg.NumPEs+w]
 				ws := newScratch(e.prog)
 				var writes int64
 				active := false
@@ -142,7 +148,7 @@ func (e *engine[V, M]) runBSP() bool {
 						writes++
 					}
 				}
-				e.cnt.scatter.Add(writes)
+				sh.Add(telemetry.CtrScatterWrites, writes)
 				if sim := e.cfg.Sim; sim != nil && writes > 0 {
 					sim.LeastLoadedCPU().RunScatter(writes, writes*e.valueBytes)
 				}

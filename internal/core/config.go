@@ -22,6 +22,7 @@ import (
 	"graphabcd/internal/accel"
 	"graphabcd/internal/edgestore"
 	"graphabcd/internal/sched"
+	"graphabcd/internal/telemetry"
 )
 
 // Mode selects the execution model.
@@ -112,6 +113,16 @@ type Config struct {
 	// passes without a single vertex update increments
 	// Stats.StallWindows. 0 means 500ms; negative disables the watchdog.
 	Watchdog time.Duration
+	// Telemetry, when non-nil, is the live instrumentation registry the
+	// run emits into: sharded counters, per-stage latency/staleness
+	// histograms, sampled trace events, and the convergence series
+	// (internal/telemetry). The caller keeps the reference and may read
+	// Registry.Snapshot concurrently while the run executes — that is how
+	// cmd/graphabcd's -metrics-addr and -progress observe a live run.
+	// When nil the engine uses a private bare-counter registry: counters
+	// still feed Stats, but no clocks are read and no histograms exist,
+	// so the disabled cost is ~0 (see BenchmarkEngineTelemetry).
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns an async cyclic configuration with the given block

@@ -13,6 +13,7 @@ import (
 	"graphabcd/internal/edgestore"
 	"graphabcd/internal/graph"
 	"graphabcd/internal/sched"
+	"graphabcd/internal/telemetry"
 	"graphabcd/internal/word"
 )
 
@@ -77,8 +78,19 @@ type engine[V, M any] struct {
 	values *word.Array[V] // vertex values, |V| entries
 	cache  *word.Array[V] // cached source values per in-edge slot, |E| entries
 
-	st    *sched.State
-	cnt   counters
+	st *sched.State
+	// tel is the run's telemetry registry (Config.Telemetry, or a private
+	// bare-counter one). All work accounting goes through its per-worker
+	// shards: shard 0 belongs to the scheduler and the watchdog, shards
+	// 1..NumPEs to the PE workers, the rest to the scatter workers. The
+	// shard split is what keeps counting off shared cache lines — the old
+	// single counter struct false-shared between every worker.
+	tel    *telemetry.Registry
+	shards []telemetry.Shard
+	sh0    *telemetry.Shard // scheduler/watchdog shard
+	live   bool             // tel records timings (histograms or tracing)
+	nv     int64            // |V|, cached for the staleness observation
+
 	edges edgestore.Source
 	// failure holds the first edge-source error; the scheduler aborts the
 	// run when it is set and Run returns it. failCh is closed alongside
@@ -134,6 +146,19 @@ func newEngine[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*e
 		}
 		e.op = op
 	}
+	e.tel = cfg.Telemetry
+	if e.tel == nil {
+		e.tel = telemetry.New(telemetry.Options{})
+	}
+	// Shard 0 is the scheduler's; gather workers take 1..NumPEs and
+	// scatter workers the rest (the BSP sweeps reuse the same split).
+	e.shards = e.tel.Shards(1 + cfg.NumPEs + cfg.NumScatter)
+	e.sh0 = &e.shards[0]
+	e.live = e.tel.Live()
+	e.nv = int64(g.NumVertices())
+	e.tel.SetVertices(g.NumVertices())
+	e.tel.RegisterGauge("active_blocks", func() float64 { return float64(e.st.NumActive()) })
+	e.tel.RegisterGauge("residual", e.st.PendingMass)
 	e.edges = cfg.Edges
 	if e.edges == nil {
 		e.edges = edgestore.InMemory(g)
@@ -190,6 +215,12 @@ func (e *engine[V, M]) maxVertexUpdates() int64 {
 	return int64(e.cfg.MaxEpochs * float64(e.g.NumVertices()))
 }
 
+// vertexUpdates is the cross-shard total driving the epoch budget, the
+// epoch hook, the watchdog, and the staleness observation.
+func (e *engine[V, M]) vertexUpdates() int64 {
+	return e.tel.Total(telemetry.CtrVertexUpdates)
+}
+
 func (e *engine[V, M]) stall(stage string) {
 	if e.cfg.StallHook != nil {
 		e.cfg.StallHook(stage)
@@ -236,12 +267,19 @@ func (e *engine[V, M]) watchdog(stop <-chan struct{}) {
 			return
 		case <-t.C:
 		}
-		progress := e.cnt.vertices.Load()
+		progress := e.vertexUpdates()
 		if progress == last {
-			e.cnt.stalls.Add(1)
+			e.sh0.Add(telemetry.CtrStallWindows, 1)
 		}
 		last = progress
 	}
+}
+
+// blockItem carries one scheduled block into the accelerator queue; enq
+// is the issue Stamp, so the consumer can observe the queue wait.
+type blockItem struct {
+	b   int
+	enq int64
 }
 
 // task carries one processed block from GATHER-APPLY to SCATTER.
@@ -249,6 +287,11 @@ type task struct {
 	block  int
 	deltas *[]float64 // per-vertex update magnitudes, pooled
 	dvals  any        // *[]V per-vertex out-deltas (operation-based only)
+	enq    int64      // Stamp at hand-off to the CPU queue
+	// gatherV is the global vertex-update count when the gather read its
+	// inputs; the scatter end subtracts it to observe per-block staleness
+	// in milli-epochs. 0 when timing is disabled.
+	gatherV int64
 }
 
 // runBlocked executes Async and Barrier modes. It reports whether the run
@@ -287,8 +330,10 @@ func (e *engine[V, M]) runBlocked() bool {
 		}
 		return c
 	}
-	accelQ := make(chan int, qcap(e.cfg.NumPEs))
+	accelQ := make(chan blockItem, qcap(e.cfg.NumPEs))
 	cpuQ := make(chan task, qcap(e.cfg.NumScatter))
+	e.tel.RegisterGauge("accel_queue_depth", func() float64 { return float64(len(accelQ)) })
+	e.tel.RegisterGauge("cpu_queue_depth", func() float64 { return float64(len(cpuQ)) })
 
 	var peWG, scatWG sync.WaitGroup
 	for i := 0; i < e.cfg.NumPEs; i++ {
@@ -322,7 +367,7 @@ func (e *engine[V, M]) runBlocked() bool {
 // schedule is the termination unit plus scheduler of the Sec. IV-C flow
 // (steps 1-2): it selects blocks until the active list drains (converged)
 // or the epoch budget is exhausted.
-func (e *engine[V, M]) schedule(s sched.Scheduler, accelQ chan<- int) bool {
+func (e *engine[V, M]) schedule(s sched.Scheduler, accelQ chan<- blockItem) bool {
 	if e.cfg.Mode == Barrier {
 		return e.scheduleBarrier(s, accelQ)
 	}
@@ -332,7 +377,7 @@ func (e *engine[V, M]) schedule(s sched.Scheduler, accelQ chan<- int) bool {
 	for {
 		e.stall("schedule")
 		epochsSeen = e.fireEpochHook(epochsSeen)
-		if e.failed() || e.cancelled() || e.cnt.vertices.Load() >= budget {
+		if e.failed() || e.cancelled() || e.vertexUpdates() >= budget {
 			return false
 		}
 		if e.st.Quiescent() {
@@ -345,7 +390,7 @@ func (e *engine[V, M]) schedule(s sched.Scheduler, accelQ chan<- int) bool {
 			continue
 		}
 		spins = 0
-		e.cnt.issued.Add(1)
+		e.sh0.Add(telemetry.CtrTasksIssued, 1)
 		if !e.sendBlock(accelQ, b) {
 			return false
 		}
@@ -356,13 +401,13 @@ func (e *engine[V, M]) schedule(s sched.Scheduler, accelQ chan<- int) bool {
 // cancellation means the queue may never drain (all consumers of a stage
 // can die when their panics are converted to run failures). The sender
 // parks — no polling — so a full queue costs nothing but a goroutine.
-func (e *engine[V, M]) sendBlock(accelQ chan<- int, b int) bool {
+func (e *engine[V, M]) sendBlock(accelQ chan<- blockItem, b int) bool {
 	var cancel <-chan struct{}
 	if e.ctx != nil {
 		cancel = e.ctx.Done()
 	}
 	select {
-	case accelQ <- b:
+	case accelQ <- blockItem{b: b, enq: e.tel.Stamp()}:
 		return true
 	case <-e.failCh:
 		return false
@@ -385,18 +430,22 @@ func (e *engine[V, M]) sendTask(cpuQ chan<- task, t task) bool {
 }
 
 // fireEpochHook invokes OnEpoch for every freshly completed
-// epoch-equivalent and returns the updated count.
+// epoch-equivalent, records a convergence sample into the telemetry
+// registry, and returns the updated count.
 func (e *engine[V, M]) fireEpochHook(seen int) int {
-	if e.cfg.OnEpoch == nil {
+	if e.cfg.OnEpoch == nil && !e.live {
 		return seen
 	}
 	n := int64(e.g.NumVertices())
 	if n == 0 {
 		return seen
 	}
-	for done := int(e.cnt.vertices.Load() / n); seen < done; {
+	for done := int(e.vertexUpdates() / n); seen < done; {
 		seen++
-		e.cfg.OnEpoch(seen)
+		if e.cfg.OnEpoch != nil {
+			e.cfg.OnEpoch(seen)
+		}
+		e.tel.RecordConvergence(seen, e.st.PendingMass(), e.st.NumActive())
 	}
 	return seen
 }
@@ -406,14 +455,14 @@ func (e *engine[V, M]) fireEpochHook(seen int) int {
 // apply-scatter chain) separates consecutive waves. Convergence behaviour
 // matches Async — the same blocks run with the same update rule — but PEs
 // idle at every wave tail.
-func (e *engine[V, M]) scheduleBarrier(s sched.Scheduler, accelQ chan<- int) bool {
+func (e *engine[V, M]) scheduleBarrier(s sched.Scheduler, accelQ chan<- blockItem) bool {
 	budget := e.maxVertexUpdates()
 	spins := 0
 	epochsSeen := 0
 	for {
 		e.stall("schedule")
 		epochsSeen = e.fireEpochHook(epochsSeen)
-		if e.failed() || e.cancelled() || e.cnt.vertices.Load() >= budget {
+		if e.failed() || e.cancelled() || e.vertexUpdates() >= budget {
 			return false
 		}
 		if e.st.Quiescent() {
@@ -426,7 +475,7 @@ func (e *engine[V, M]) scheduleBarrier(s sched.Scheduler, accelQ chan<- int) boo
 		wave := 0
 		for b := 0; b < e.part.NumBlocks(); b++ {
 			if e.st.Active(b) && !e.st.InFlight(b) && e.st.Claim(b) {
-				e.cnt.issued.Add(1)
+				e.sh0.Add(telemetry.CtrTasksIssued, 1)
 				if !e.sendBlock(accelQ, b) {
 					return false
 				}
@@ -449,7 +498,7 @@ func (e *engine[V, M]) scheduleBarrier(s sched.Scheduler, accelQ chan<- int) boo
 // or a worker failure makes completion impossible.
 func (e *engine[V, M]) awaitDrain() {
 	spins := 0
-	for e.cnt.finished.Load() < e.cnt.issued.Load() {
+	for e.tel.Total(telemetry.CtrTasksFinished) < e.tel.Total(telemetry.CtrTasksIssued) {
 		if e.failed() {
 			return
 		}
@@ -468,17 +517,26 @@ func idle(spins *int) {
 }
 
 // peWorker is one accelerator PE (steps 3-7): dequeue block, gather-apply,
-// hand off to the CPU task queue.
-func (e *engine[V, M]) peWorker(i int, accelQ <-chan int, cpuQ chan<- task) {
+// hand off to the CPU task queue. It observes its queue wait and gather
+// latency into its own telemetry shard; both calls are no-ops in the
+// bare-counter mode.
+func (e *engine[V, M]) peWorker(i int, accelQ <-chan blockItem, cpuQ chan<- task) {
 	defer e.recoverToFailure()
+	sh := &e.shards[1+i]
 	ws := newScratch(e.prog)
-	for b := range accelQ {
+	for it := range accelQ {
 		e.stall("gather")
-		t, edges := e.gatherApply(b, ws)
+		now := e.tel.Stamp()
+		sh.Observe(telemetry.StageAccelWait, now-it.enq)
+		sh.Trace(telemetry.StageAccelWait, it.b, it.enq, now-it.enq)
+		t, edges := e.gatherApply(it.b, ws, sh)
 		if sim := e.cfg.Sim; sim != nil {
-			lo, hi := e.part.VertexRange(b)
+			lo, hi := e.part.VertexRange(it.b)
 			sim.LeastLoadedPE().RunBlock(edges, edges*e.edgeBytes, int64(hi-lo)*e.valueBytes)
 		}
+		t.enq = e.tel.Stamp()
+		sh.Observe(telemetry.StageGather, t.enq-now)
+		sh.Trace(telemetry.StageGather, it.b, now, t.enq-now)
 		if !e.sendTask(cpuQ, t) {
 			return
 		}
@@ -488,22 +546,27 @@ func (e *engine[V, M]) peWorker(i int, accelQ <-chan int, cpuQ chan<- task) {
 // scatterWorker is one CPU thread (steps 8-11). With hybrid execution it
 // also steals gather-apply tasks from the accelerator queue when no
 // scatter work is pending (Sec. IV-B).
-func (e *engine[V, M]) scatterWorker(j int, cpuQ <-chan task, hybridQ <-chan int) {
+func (e *engine[V, M]) scatterWorker(j int, cpuQ <-chan task, hybridQ <-chan blockItem) {
 	defer e.recoverToFailure()
+	sh := &e.shards[1+e.cfg.NumPEs+j]
 	ws := newScratch(e.prog)
 	mass := make([]float64, e.part.NumBlocks())
 	touched := make([]int, 0, 64)
-	runHybrid := func(b int, ok bool) bool {
+	runHybrid := func(it blockItem, ok bool) bool {
 		if !ok {
 			return false
 		}
 		e.stall("gather")
-		t, edges := e.gatherApply(b, ws)
+		now := e.tel.Stamp()
+		t, edges := e.gatherApply(it.b, ws, sh)
 		if sim := e.cfg.Sim; sim != nil {
 			sim.LeastLoadedCPU().RunGather(edges, edges*e.edgeBytes)
 		}
-		e.cnt.hybrid.Add(1)
-		e.scatter(j, t, ws, mass, &touched)
+		sh.Add(telemetry.CtrHybridBlocks, 1)
+		t.enq = e.tel.Stamp()
+		sh.Observe(telemetry.StageGather, t.enq-now)
+		sh.Trace(telemetry.StageGather, it.b, now, t.enq-now)
+		e.scatter(t, ws, mass, &touched, sh)
 		return true
 	}
 	for {
@@ -514,7 +577,7 @@ func (e *engine[V, M]) scatterWorker(j int, cpuQ <-chan task, hybridQ <-chan int
 			if !ok {
 				return
 			}
-			e.scatter(j, t, ws, mass, &touched)
+			e.scatter(t, ws, mass, &touched, sh)
 			continue
 		default:
 		}
@@ -533,9 +596,9 @@ func (e *engine[V, M]) scatterWorker(j int, cpuQ <-chan task, hybridQ <-chan int
 			if !ok {
 				return
 			}
-			e.scatter(j, t, ws, mass, &touched)
-		case b, ok := <-hq:
-			if !runHybrid(b, ok) {
+			e.scatter(t, ws, mass, &touched, sh)
+		case it, ok := <-hq:
+			if !runHybrid(it, ok) {
 				hybridQ = nil // accelerator queue closed; drain cpuQ only
 			}
 		}
@@ -564,8 +627,11 @@ func newScratch[V, M any](prog bcd.Program[V, M]) *workerScratch[V, M] {
 
 // gatherApply processes block b (steps 4-6): stream the block's in-edge
 // cache sequentially, run GATHER-APPLY per vertex, store new values, and
-// record per-vertex deltas for the scatter stage.
-func (e *engine[V, M]) gatherApply(b int, ws *workerScratch[V, M]) (task, int64) {
+// record per-vertex deltas for the scatter stage. Work counters land in
+// the calling worker's shard sh.
+//
+//abcd:hotpath
+func (e *engine[V, M]) gatherApply(b int, ws *workerScratch[V, M], sh *telemetry.Shard) (task, int64) {
 	lo, hi := e.part.VertexRange(b)
 	deltasPtr := e.deltaPool.Get().(*[]float64)
 	deltas := (*deltasPtr)[:hi-lo]
@@ -574,6 +640,10 @@ func (e *engine[V, M]) gatherApply(b int, ws *workerScratch[V, M]) (task, int64)
 	if e.op != nil {
 		dvalsPtr = e.dvalPool.Get().(*[]V)
 		dvals = (*dvalsPtr)[:hi-lo]
+	}
+	var gatherV int64
+	if e.live {
+		gatherV = e.vertexUpdates()
 	}
 	// Stream the block's static edge range from the configured source —
 	// one contiguous read per block task, by the pull-push layout.
@@ -584,7 +654,7 @@ func (e *engine[V, M]) gatherApply(b int, ws *workerScratch[V, M]) (task, int64)
 		for i := range deltas {
 			deltas[i] = 0
 		}
-		t := task{block: b, deltas: deltasPtr}
+		t := task{block: b, deltas: deltasPtr, gatherV: gatherV}
 		if dvalsPtr != nil {
 			t.dvals = dvalsPtr
 		}
@@ -629,10 +699,10 @@ func (e *engine[V, M]) gatherApply(b int, ws *workerScratch[V, M]) (task, int64)
 		}
 		e.values.StoreBuf(int64(v), newVal, ws.buf)
 	}
-	e.cnt.blocks.Add(1)
-	e.cnt.vertices.Add(int64(hi - lo))
-	e.cnt.edges.Add(edges)
-	t := task{block: b, deltas: deltasPtr}
+	sh.Add(telemetry.CtrBlockUpdates, 1)
+	sh.Add(telemetry.CtrVertexUpdates, int64(hi-lo))
+	sh.Add(telemetry.CtrEdgesTraversed, edges)
+	t := task{block: b, deltas: deltasPtr, gatherV: gatherV}
 	if dvalsPtr != nil {
 		t.dvals = dvalsPtr // avoid wrapping a typed nil in the interface
 	}
@@ -643,8 +713,15 @@ func (e *engine[V, M]) gatherApply(b int, ws *workerScratch[V, M]) (task, int64)
 // are copied onto out-edge cache slots, Gauss-Southwell mass accumulates
 // onto destination blocks, and the active list is updated. Marking the
 // block done last keeps the termination unit's quiescence test sound.
-func (e *engine[V, M]) scatter(j int, t task, ws *workerScratch[V, M], mass []float64, touched *[]int) {
+// The CPU-queue wait, the scatter latency, and the block's staleness are
+// observed into the calling worker's shard sh.
+//
+//abcd:hotpath
+func (e *engine[V, M]) scatter(t task, ws *workerScratch[V, M], mass []float64, touched *[]int, sh *telemetry.Shard) {
 	e.stall("scatter")
+	start := e.tel.Stamp()
+	sh.Observe(telemetry.StageCPUWait, start-t.enq)
+	sh.Trace(telemetry.StageCPUWait, t.block, t.enq, start-t.enq)
 	lo, hi := e.part.VertexRange(t.block)
 	deltas := (*t.deltas)[:hi-lo]
 	var dvals []V
@@ -683,7 +760,7 @@ func (e *engine[V, M]) scatter(j int, t task, ws *workerScratch[V, M], mass []fl
 		for i := e.g.OutOffset(v); i < e.g.OutOffset(v+1); i++ {
 			tb := e.part.BlockOf(e.g.OutDst(i))
 			if mass[tb] == 0 {
-				*touched = append(*touched, tb) //abcdlint:ignore hotalloc -- amortized: per-worker buffer, reset to [:0] below with capacity retained
+				*touched = append(*touched, tb) //abcdlint:ignore hotalloc,hotpath -- amortized: per-worker buffer, reset to [:0] below with capacity retained
 			}
 			mass[tb] += d
 		}
@@ -695,7 +772,7 @@ func (e *engine[V, M]) scatter(j int, t task, ws *workerScratch[V, M], mass []fl
 		mass[tb] = 0
 	}
 	*touched = (*touched)[:0]
-	e.cnt.scatter.Add(writes)
+	sh.Add(telemetry.CtrScatterWrites, writes)
 	if sim := e.cfg.Sim; sim != nil && writes > 0 {
 		sim.LeastLoadedCPU().RunScatter(writes, writes*e.valueBytes)
 	}
@@ -704,10 +781,18 @@ func (e *engine[V, M]) scatter(j int, t task, ws *workerScratch[V, M], mass []fl
 		e.dvalPool.Put(t.dvals.(*[]V))
 	}
 	e.st.Done(t.block)
-	e.cnt.finished.Add(1)
+	sh.Add(telemetry.CtrTasksFinished, 1)
+	if end := e.tel.Stamp(); e.live {
+		sh.Observe(telemetry.StageScatter, end-start)
+		sh.Trace(telemetry.StageScatter, t.block, start, end-start)
+		if e.nv > 0 {
+			sh.Observe(telemetry.StageStaleness, (e.vertexUpdates()-t.gatherV)*1000/e.nv)
+		}
+	}
 }
 
-// result decodes the final values and assembles statistics.
+// result decodes the final values and assembles statistics: Stats is the
+// final merged snapshot of the run's telemetry registry.
 func (e *engine[V, M]) result(converged bool, wall time.Duration) *Result[V] {
 	n := e.g.NumVertices()
 	vals := make([]V, n)
@@ -715,19 +800,7 @@ func (e *engine[V, M]) result(converged bool, wall time.Duration) *Result[V] {
 	for v := 0; v < n; v++ {
 		e.values.LoadBuf(int64(v), &vals[v], buf)
 	}
-	st := Stats{
-		BlockUpdates:   e.cnt.blocks.Load(),
-		VertexUpdates:  e.cnt.vertices.Load(),
-		EdgesTraversed: e.cnt.edges.Load(),
-		ScatterWrites:  e.cnt.scatter.Load(),
-		HybridBlocks:   e.cnt.hybrid.Load(),
-		Converged:      converged,
-		StallWindows:   e.cnt.stalls.Load(),
-		WallTime:       wall,
-	}
-	if n > 0 {
-		st.Epochs = float64(st.VertexUpdates) / float64(n)
-	}
+	st := statsFromTelemetry(e.tel, n, converged, wall)
 	if e.cfg.Sim != nil {
 		st.SimTimeNs = e.cfg.Sim.SimTimeNs()
 	}

@@ -374,6 +374,13 @@ func TestStatsMTEPS(t *testing.T) {
 	if (Stats{}).MTEPS() != 0 {
 		t.Fatal("zero stats MTEPS must be 0")
 	}
+	// Corrupt measurements must not produce Inf or negative rates.
+	if got := (Stats{EdgesTraversed: 100, WallTime: -time.Second}).MTEPS(); got != 0 {
+		t.Fatalf("negative wall time MTEPS = %g, want 0", got)
+	}
+	if got := (Stats{EdgesTraversed: 1e9, WallTime: time.Nanosecond}).MTEPS(); math.IsInf(got, 0) || got < 0 {
+		t.Fatalf("tiny wall time MTEPS = %g, want finite non-negative", got)
+	}
 }
 
 func TestBarrierModeConvergenceMatchesAsync(t *testing.T) {

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"sync/atomic"
 	"time"
+
+	"graphabcd/internal/telemetry"
 )
 
 // Stats summarizes one engine run. BlockUpdates counts processed blocks,
@@ -12,6 +13,14 @@ import (
 // Epochs is VertexUpdates / |V| — the "# of iterations" of the paper's
 // Equation (1) in epoch-equivalents, which makes a BSP sweep (1 epoch) and
 // small-block executions directly comparable (Fig. 4's normalization).
+//
+// Stats is the *final* snapshot of the run's telemetry registry
+// (internal/telemetry): the engine tallies into per-worker padded shards
+// — the old single counter struct put eight adjacent atomics on shared
+// cache lines, a measured false-sharing hotspot (DESIGN.md §9) — and
+// statsFromTelemetry merges them once at the end. For live visibility
+// into the same registry, pass Config.Telemetry and read
+// Registry.Snapshot while the run executes.
 type Stats struct {
 	BlockUpdates   int64
 	VertexUpdates  int64
@@ -29,7 +38,8 @@ type Stats struct {
 }
 
 // MTEPS returns millions of traversed edges per second of wall time, the
-// throughput metric of Table II.
+// throughput metric of Table II. Non-positive wall time (an unfinished or
+// corrupt measurement) yields 0, never Inf or a negative rate.
 func (s Stats) MTEPS() float64 {
 	if s.WallTime <= 0 {
 		return 0
@@ -37,16 +47,24 @@ func (s Stats) MTEPS() float64 {
 	return float64(s.EdgesTraversed) / s.WallTime.Seconds() / 1e6
 }
 
-// counters is the engine's internal atomic tally.
-type counters struct {
-	blocks   atomic.Int64
-	vertices atomic.Int64
-	edges    atomic.Int64
-	scatter  atomic.Int64
-	hybrid   atomic.Int64
-	issued   atomic.Int64 // tasks pushed to the accelerator queue
-	finished atomic.Int64 // tasks whose scatter completed
-	stalls   atomic.Int64 // watchdog periods without progress
+// statsFromTelemetry builds the scalar run summary from the registry's
+// cross-shard counter totals.
+func statsFromTelemetry(tel *telemetry.Registry, numVertices int, converged bool, wall time.Duration) Stats {
+	t := tel.CounterTotals()
+	st := Stats{
+		BlockUpdates:   t[telemetry.CtrBlockUpdates],
+		VertexUpdates:  t[telemetry.CtrVertexUpdates],
+		EdgesTraversed: t[telemetry.CtrEdgesTraversed],
+		ScatterWrites:  t[telemetry.CtrScatterWrites],
+		HybridBlocks:   t[telemetry.CtrHybridBlocks],
+		Converged:      converged,
+		StallWindows:   t[telemetry.CtrStallWindows],
+		WallTime:       wall,
+	}
+	if numVertices > 0 {
+		st.Epochs = float64(st.VertexUpdates) / float64(numVertices)
+	}
+	return st
 }
 
 // Result bundles the final vertex values with the run statistics.

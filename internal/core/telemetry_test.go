@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/sched"
+	"graphabcd/internal/telemetry"
+)
+
+// TestEngineLiveTelemetry runs PageRank with a caller-owned registry and
+// checks the full observability contract: the final Stats equal the
+// registry's counter totals, the stage histograms saw every block, the
+// convergence series recorded epoch samples, and the engine's gauges are
+// present in a Snapshot.
+func TestEngineLiveTelemetry(t *testing.T) {
+	g := testGraph(t)
+	reg := telemetry.New(telemetry.Options{Histograms: true})
+	cfg := Config{BlockSize: 64, Mode: Async, Policy: sched.Priority,
+		NumPEs: 3, NumScatter: 2, Epsilon: 1e-10, Telemetry: reg}
+	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	totals := reg.CounterTotals()
+	if totals[telemetry.CtrBlockUpdates] != res.Stats.BlockUpdates ||
+		totals[telemetry.CtrVertexUpdates] != res.Stats.VertexUpdates ||
+		totals[telemetry.CtrEdgesTraversed] != res.Stats.EdgesTraversed {
+		t.Errorf("registry totals diverge from Stats: reg=%v stats=%+v", totals, res.Stats)
+	}
+	if res.Stats.BlockUpdates == 0 || res.Stats.EdgesTraversed == 0 {
+		t.Fatalf("run did no work: %+v", res.Stats)
+	}
+
+	// Every processed block passes through gather and scatter exactly once,
+	// so both histograms must count BlockUpdates observations.
+	for _, st := range []telemetry.Stage{telemetry.StageGather, telemetry.StageScatter, telemetry.StageStaleness} {
+		h := reg.StageHistogram(st)
+		if h.Count != res.Stats.BlockUpdates {
+			t.Errorf("stage %s count = %d, want %d", st.Name(), h.Count, res.Stats.BlockUpdates)
+		}
+	}
+	// Queue waits: one accel-queue wait per issued block, one CPU-queue
+	// wait per scatter task — same block count again.
+	if h := reg.StageHistogram(telemetry.StageAccelWait); h.Count != res.Stats.BlockUpdates {
+		t.Errorf("accel-wait count = %d, want %d", h.Count, res.Stats.BlockUpdates)
+	}
+
+	conv := reg.Convergence()
+	if len(conv) == 0 {
+		t.Error("live registry recorded no convergence samples")
+	} else {
+		last := conv[len(conv)-1]
+		if last.Epoch < 1 || last.Residual < 0 {
+			t.Errorf("suspicious final convergence sample: %+v", last)
+		}
+	}
+
+	s := reg.Snapshot()
+	for _, gauge := range []string{"active_blocks", "residual", "accel_queue_depth", "cpu_queue_depth"} {
+		if _, ok := s.Gauges[gauge]; !ok {
+			t.Errorf("gauge %q missing from snapshot (have %v)", gauge, s.Gauges)
+		}
+	}
+	if s.Epochs <= 0 {
+		t.Errorf("snapshot epochs = %g, want > 0", s.Epochs)
+	}
+}
+
+// TestEngineTraceEndToEnd drives the sampled tracer through a real run and
+// verifies the emitted file is loadable Chrome trace-event JSON containing
+// complete events for every instrumented stage.
+func TestEngineTraceEndToEnd(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf, 1) // trace every block
+	reg := telemetry.New(telemetry.Options{Histograms: true, Tracer: tr})
+	cfg := Config{BlockSize: 64, Mode: Async, Policy: sched.Cyclic,
+		NumPEs: 2, NumScatter: 1, Epsilon: 1e-8, Telemetry: reg}
+	if _, err := Run[float64, float64](g, bcd.PageRank{}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	seen := map[string]int{}
+	for _, e := range events {
+		if e["ph"] == "X" {
+			seen[e["name"].(string)]++
+		}
+	}
+	for _, stage := range []string{"gather", "scatter", "accel-wait", "cpu-wait"} {
+		if seen[stage] == 0 && tr.Dropped() == 0 {
+			t.Errorf("no %q events in trace (saw %v)", stage, seen)
+		}
+	}
+}
+
+// TestEngineBSPTelemetry checks the Barrier path reports through the same
+// registry: sweeps count as block updates and vertex work is attributed.
+func TestEngineBSPTelemetry(t *testing.T) {
+	g := testGraph(t)
+	reg := telemetry.New(telemetry.Options{Histograms: true})
+	cfg := Config{BlockSize: 64, Mode: Barrier, Policy: sched.Cyclic,
+		NumPEs: 2, NumScatter: 1, Epsilon: 1e-9, Telemetry: reg}
+	res, err := Run[float64, float64](g, bcd.PageRank{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := reg.CounterTotals()
+	if totals[telemetry.CtrVertexUpdates] != res.Stats.VertexUpdates || res.Stats.VertexUpdates == 0 {
+		t.Errorf("BSP vertex updates: reg=%d stats=%d", totals[telemetry.CtrVertexUpdates], res.Stats.VertexUpdates)
+	}
+}

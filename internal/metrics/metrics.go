@@ -103,6 +103,56 @@ func toAny(ss []string) []any {
 	return out
 }
 
+// sparkLevels are the eight block glyphs a sparkline is drawn with.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a fixed-width unicode sparkline, downsampling
+// by bucket means when len(xs) > width. Values are scaled linearly
+// between the series' min and max; NaN/Inf samples are skipped. It
+// returns "" for an empty series or non-positive width — callers can
+// print the result unconditionally.
+func Sparkline(xs []float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return ""
+	}
+	if width > len(clean) {
+		width = len(clean)
+	}
+	// Bucket means: cell i covers clean[i*n/width : (i+1)*n/width).
+	cells := make([]float64, width)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < width; i++ {
+		a, b := i*len(clean)/width, (i+1)*len(clean)/width
+		if b == a {
+			b = a + 1
+		}
+		sum := 0.0
+		for _, x := range clean[a:b] {
+			sum += x
+		}
+		cells[i] = sum / float64(b-a)
+		lo, hi = math.Min(lo, cells[i]), math.Max(hi, cells[i])
+	}
+	out := make([]rune, width)
+	for i, c := range cells {
+		level := 0
+		if hi > lo {
+			level = int((c - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		out[i] = sparkLevels[level]
+	}
+	return string(out)
+}
+
 // FormatDuration renders seconds compactly for report tables.
 func FormatDuration(sec float64) string {
 	switch {

@@ -76,3 +76,67 @@ func TestFormatDuration(t *testing.T) {
 		}
 	}
 }
+
+// TestFormatDurationBoundaries pins the unit-switch thresholds: exactly
+// 1 ms must render in ms (not us), exactly 1 s in seconds.
+func TestFormatDurationBoundaries(t *testing.T) {
+	cases := map[float64]string{
+		1e-3:     "1.00ms",
+		0.000999: "999.0us",
+		0.9995:   "999.50ms",
+		1.0:      "1.000s",
+		3600:     "3600.000s",
+	}
+	for in, want := range cases {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty series must render empty")
+	}
+	if Sparkline([]float64{1, 2}, 0) != "" || Sparkline([]float64{1}, -3) != "" {
+		t.Error("non-positive width must render empty")
+	}
+	if Sparkline([]float64{math.NaN(), math.Inf(1), math.Inf(-1)}, 5) != "" {
+		t.Error("all-invalid series must render empty")
+	}
+
+	// A flat series renders at the floor glyph, full requested width.
+	flat := Sparkline([]float64{3, 3, 3, 3}, 4)
+	if flat != "▁▁▁▁" {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+
+	// A monotone ramp starts at the floor and ends at the ceiling.
+	ramp := make([]float64, 64)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	s := []rune(Sparkline(ramp, 8))
+	if len(s) != 8 {
+		t.Fatalf("width = %d, want 8", len(s))
+	}
+	if s[0] != '▁' || s[7] != '█' {
+		t.Errorf("ramp endpoints = %q...%q", s[0], s[7])
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Errorf("ramp not monotone at cell %d: %q", i, string(s))
+		}
+	}
+
+	// Fewer samples than width: output shrinks to the sample count.
+	if got := Sparkline([]float64{1, 9}, 10); len([]rune(got)) != 2 {
+		t.Errorf("short series width = %d, want 2", len([]rune(got)))
+	}
+
+	// NaN samples are skipped, not treated as zero.
+	withNaN := Sparkline([]float64{5, math.NaN(), 5}, 3)
+	if withNaN != "▁▁" {
+		t.Errorf("NaN-skipping sparkline = %q", withNaN)
+	}
+}

@@ -100,6 +100,19 @@ func (s *State) Priority(b int) float64 { return s.priority.Load(b) }
 // termination unit's convergence test (step 1 of the Sec. IV-C flow).
 func (s *State) Quiescent() bool { return s.outstanding.Load() == 0 }
 
+// PendingMass returns the total accumulated gradient mass across all
+// blocks — the global residual whose decay toward zero is the run's
+// convergence signal. The sum is a racy-but-monotone-ish sample (blocks
+// claim and refill mass concurrently), which is exactly what a monitoring
+// time series needs; do not use it for termination decisions.
+func (s *State) PendingMass() float64 {
+	var sum float64
+	for b := 0; b < s.NumBlocks(); b++ {
+		sum += s.priority.Load(b)
+	}
+	return sum
+}
+
 // NumActive returns the number of active blocks.
 func (s *State) NumActive() int { return s.active.Count() }
 

@@ -1,0 +1,101 @@
+package telemetry
+
+import "math/bits"
+
+// NumBuckets is the fixed bucket count of every stage histogram. Buckets
+// are powers of two: bucket b holds values in [2^(b-1), 2^b), so 40
+// buckets cover 1 ns up to ~9 minutes of ns-scale durations (and the
+// whole useful milli-epoch staleness range) with ≤2x relative error —
+// the precision/footprint point that keeps a shard's histogram block
+// small enough to stay resident in cache.
+const NumBuckets = 40
+
+// bucketOf maps a non-negative value to its power-of-two bucket.
+//
+//abcd:hotpath
+func bucketOf(v int64) int {
+	b := bits.Len64(uint64(v))
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the exclusive upper bound of bucket b, the value
+// reported for quantiles that land in it.
+func BucketUpper(b int) int64 {
+	if b >= 63 {
+		return 1<<63 - 1
+	}
+	return 1 << b
+}
+
+// Histogram is one stage's merged (cross-shard) histogram snapshot.
+type Histogram struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [NumBuckets]int64
+}
+
+// Mean returns the exact mean of observed values (the sum is tracked
+// alongside the buckets, so the mean does not suffer bucket rounding).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) from
+// the bucket boundaries: the true value is within 2x below the returned
+// one. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < NumBuckets; b++ {
+		cum += h.Buckets[b]
+		if cum >= rank {
+			u := BucketUpper(b)
+			if u > h.Max && h.Max > 0 {
+				return h.Max // the last occupied bucket's bound can overshoot the true max
+			}
+			return u
+		}
+	}
+	return h.Max
+}
+
+// StageHistogram merges stage st across all shards into one Histogram.
+// Safe to call while writers run: each slot is read atomically, so the
+// result is a consistent-enough snapshot (counts never decrease).
+func (r *Registry) StageHistogram(st Stage) Histogram {
+	var h Histogram
+	set := r.shards.Load()
+	if set == nil {
+		return h
+	}
+	for i := range *set {
+		sh := (*set)[i].hist
+		if sh == nil {
+			continue
+		}
+		for b := 0; b < NumBuckets; b++ {
+			h.Buckets[b] += sh.counts[int(st)*NumBuckets+b].Load()
+		}
+		h.Sum += sh.sums[st].Load()
+		if m := sh.maxs[st].Load(); m > h.Max {
+			h.Max = m
+		}
+	}
+	for b := 0; b < NumBuckets; b++ {
+		h.Count += h.Buckets[b]
+	}
+	return h
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import "time"
+
+// StageStats is one stage's merged histogram summary, ns-valued for
+// duration stages and milli-epoch-valued for staleness.
+type StageStats struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Snapshot is one consistent-enough merged view of the registry: counter
+// totals, live gauges, stage summaries, derived rates, and the latest
+// convergence sample. It marshals to JSON as-is; cmd/graphabcd publishes
+// it through expvar at /debug/vars.
+type Snapshot struct {
+	ElapsedSec   float64               `json:"elapsed_sec"`
+	Counters     map[string]int64      `json:"counters"`
+	Gauges       map[string]float64    `json:"gauges,omitempty"`
+	Stages       map[string]StageStats `json:"stages,omitempty"`
+	Epochs       float64               `json:"epochs"`
+	EpochsPerSec float64               `json:"epochs_per_sec"`
+	MTEPS        float64               `json:"mteps"`
+	Residual     float64               `json:"residual"`
+	ActiveBlocks int                   `json:"active_blocks"`
+}
+
+// Snapshot merges every shard, samples every gauge, and derives the
+// headline rates. It allocates and may take gauge locks — call it from
+// monitoring paths (the metrics endpoint, the progress printer, the final
+// Stats build), never from a worker.
+func (r *Registry) Snapshot() Snapshot {
+	elapsed := time.Since(r.start).Seconds()
+	totals := r.CounterTotals()
+	s := Snapshot{
+		ElapsedSec: elapsed,
+		Counters:   make(map[string]int64, NumCounters),
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		s.Counters[c.Name()] = totals[c]
+	}
+	if t := r.tracer; t != nil {
+		s.Counters[CtrTraceDropped.Name()] += t.Dropped()
+	}
+
+	r.mu.Lock()
+	nv := r.vertices
+	gauges := make([]gauge, len(r.gauges))
+	copy(gauges, r.gauges)
+	if n := len(r.conv); n > 0 {
+		s.Residual = r.conv[n-1].Residual
+		s.ActiveBlocks = r.conv[n-1].ActiveBlocks
+	}
+	r.mu.Unlock()
+
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for _, g := range gauges {
+			s.Gauges[g.name] = g.fn()
+		}
+	}
+	if nv > 0 {
+		s.Epochs = float64(totals[CtrVertexUpdates]) / float64(nv)
+	}
+	if elapsed > 0 {
+		s.EpochsPerSec = s.Epochs / elapsed
+		s.MTEPS = float64(totals[CtrEdgesTraversed]) / elapsed / 1e6
+	}
+	if r.timing {
+		s.Stages = make(map[string]StageStats, NumStages)
+		for st := Stage(0); st < NumStages; st++ {
+			h := r.StageHistogram(st)
+			if h.Count == 0 {
+				continue
+			}
+			s.Stages[st.Name()] = StageStats{
+				Count: h.Count,
+				Mean:  h.Mean(),
+				P50:   h.Quantile(0.50),
+				P95:   h.Quantile(0.95),
+				P99:   h.Quantile(0.99),
+				Max:   h.Max,
+			}
+		}
+	}
+	return s
+}

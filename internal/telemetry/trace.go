@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// traceEvent is one fixed-size record in a worker's ring buffer; the hot
+// path writes these, never strings or JSON.
+type traceEvent struct {
+	stage Stage
+	block int32
+	start int64 // ns since trace start
+	dur   int64 // ns
+}
+
+// ring is a single-producer single-consumer event buffer. The producer is
+// the shard's worker; the consumer is the tracer's flusher goroutine.
+// head and tail are atomic, so the producer's event write happens-before
+// the consumer's read (publish via head), and slot reuse happens-after
+// the consumer's tail advance — lock-free in both directions. A full
+// ring drops the event and counts the drop: tracing must never apply
+// backpressure to the engine.
+type ring struct {
+	worker  int32
+	sample  int64
+	events  []traceEvent
+	head    atomic.Int64 // producer cursor
+	tail    atomic.Int64 // consumer cursor
+	dropped atomic.Int64
+}
+
+// ringCap is each worker's event capacity between flushes. At the 50ms
+// flush cadence a worker would need >80k traced events/sec to overflow;
+// sampled tracing stays orders of magnitude below that.
+const ringCap = 4096
+
+// record appends one event if the block is in the trace sample.
+//
+//abcd:hotpath
+func (r *ring) record(st Stage, block int, start, dur int64) {
+	if r.sample > 1 && int64(block)%r.sample != 0 {
+		return
+	}
+	h, t := r.head.Load(), r.tail.Load()
+	if h-t >= int64(len(r.events)) {
+		r.dropped.Add(1)
+		return
+	}
+	e := &r.events[h%int64(len(r.events))]
+	e.stage, e.block, e.start, e.dur = st, int32(block), start, dur
+	r.head.Store(h + 1)
+}
+
+// Tracer collects sampled block-lifecycle events from every shard's ring
+// and writes them as Chrome trace-event JSON — loadable in
+// chrome://tracing or https://ui.perfetto.dev. One trace event is
+// emitted per (stage, block) occurrence: "X" complete events with the
+// worker as tid, so the timeline shows each worker's gather/scatter/wait
+// interleaving and each sampled block can be followed across stages.
+type Tracer struct {
+	sample int64
+
+	mu    sync.Mutex // guards w, buf, rings, wrote (flusher + Close only)
+	w     *bufio.Writer
+	buf   []byte
+	rings []*ring
+	wrote bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewTracer starts a tracer writing to w. sampleEvery selects every Nth
+// block id for tracing (1 traces every block); sampling is by block id,
+// so a sampled block's whole lifecycle — queue wait, gather, queue wait,
+// scatter — appears in the trace, not a random subset of stages. The
+// caller must Close the tracer after the run to flush the tail and
+// terminate the JSON.
+func NewTracer(w io.Writer, sampleEvery int) *Tracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	t := &Tracer{
+		sample: int64(sampleEvery),
+		w:      bufio.NewWriterSize(w, 1<<16),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	_, _ = t.w.WriteString(`[{"name":"process_name","ph":"M","pid":1,"args":{"name":"graphabcd"}}`)
+	t.wrote = true
+	go t.flushLoop()
+	return t
+}
+
+// newRing attaches one worker ring; called from Registry.Shards.
+func (t *Tracer) newRing(worker int32) *ring {
+	r := &ring{worker: worker, sample: t.sample, events: make([]traceEvent, ringCap)}
+	t.mu.Lock()
+	t.rings = append(t.rings, r)
+	t.mu.Unlock()
+	return r
+}
+
+// flushLoop drains every ring on a fixed cadence, off the hot path.
+func (t *Tracer) flushLoop() {
+	defer close(t.done)
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			t.flush()
+		}
+	}
+}
+
+// flush drains all rings and writes their events.
+func (t *Tracer) flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.rings {
+		h, tl := r.head.Load(), r.tail.Load()
+		for ; tl < h; tl++ {
+			t.writeEvent(r.worker, &r.events[tl%int64(len(r.events))])
+		}
+		r.tail.Store(tl)
+	}
+}
+
+// writeEvent appends one Chrome trace event. Timestamps and durations are
+// microseconds (the trace-event spec's unit), written with strconv into a
+// reused buffer.
+func (t *Tracer) writeEvent(worker int32, e *traceEvent) {
+	b := t.buf[:0]
+	if t.wrote {
+		b = append(b, ',', '\n')
+	}
+	b = append(b, `{"name":"`...)
+	b = append(b, e.stage.Name()...)
+	b = append(b, `","cat":"block","ph":"X","ts":`...)
+	b = appendMicros(b, e.start)
+	b = append(b, `,"dur":`...)
+	b = appendMicros(b, e.dur)
+	b = append(b, `,"pid":1,"tid":`...)
+	b = strconv.AppendInt(b, int64(worker), 10)
+	b = append(b, `,"args":{"block":`...)
+	b = strconv.AppendInt(b, int64(e.block), 10)
+	b = append(b, `}}`...)
+	t.buf = b
+	_, _ = t.w.Write(b)
+	t.wrote = true
+}
+
+// appendMicros renders ns as fractional microseconds with ns precision.
+func appendMicros(b []byte, ns int64) []byte {
+	b = strconv.AppendInt(b, ns/1e3, 10)
+	frac := ns % 1e3
+	if frac < 0 {
+		frac = 0
+	}
+	b = append(b, '.')
+	b = append(b, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	return b
+}
+
+// Dropped returns how many events were lost to full rings.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, r := range t.rings {
+		n += r.dropped.Load()
+	}
+	return n
+}
+
+// Close stops the flusher, drains the rings one final time, terminates
+// the JSON array, and flushes the buffered writer. The tracer must not
+// receive events after Close; stop the run first.
+func (t *Tracer) Close() error {
+	close(t.stop)
+	<-t.done
+	t.flush()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, _ = t.w.WriteString("]\n")
+	return t.w.Flush()
+}

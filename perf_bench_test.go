@@ -1,0 +1,152 @@
+package graphabcd
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"graphabcd/internal/bcd"
+	"graphabcd/internal/core"
+	"graphabcd/internal/gen"
+	"graphabcd/internal/sched"
+	"graphabcd/internal/telemetry"
+)
+
+// perfShrink is the dataset scale-down exponent for the BenchmarkPerf*
+// set. scripts/bench.sh overrides it per tier via GRAPHABCD_BENCH_SHRINK.
+func perfShrink() int {
+	if s := os.Getenv("GRAPHABCD_BENCH_SHRINK"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return 4
+}
+
+// perfGraph builds one Table-I analog at the configured shrink.
+func perfGraph(b *testing.B, name string, weighted bool) *Graph {
+	b.Helper()
+	d, err := gen.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := d.BuildSocial(perfShrink(), weighted)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func perfConfig(g *Graph) core.Config {
+	return core.Config{
+		BlockSize:  max(16, g.NumVertices()/256),
+		Mode:       core.Async,
+		Policy:     sched.Priority,
+		NumPEs:     4,
+		NumScatter: 2,
+		Epsilon:    1e-9,
+	}
+}
+
+// benchPR/benchSSSP/benchCC run one algorithm to convergence per
+// iteration and report MTEPS — the tier-1 performance set scripts/bench.sh
+// snapshots into BENCH_<date>.json.
+func benchPR(b *testing.B, dataset string) {
+	g := perfGraph(b, dataset, false)
+	cfg := perfConfig(g)
+	b.ResetTimer()
+	var edges int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run[float64, float64](g, bcd.PageRank{}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges += res.Stats.EdgesTraversed
+	}
+	b.ReportMetric(float64(edges)/b.Elapsed().Seconds()/1e6, "MTEPS")
+}
+
+func benchSSSP(b *testing.B, dataset string) {
+	g := perfGraph(b, dataset, true)
+	cfg := perfConfig(g)
+	b.ResetTimer()
+	var edges int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run[float64, float64](g, bcd.SSSP{Source: 0}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges += res.Stats.EdgesTraversed
+	}
+	b.ReportMetric(float64(edges)/b.Elapsed().Seconds()/1e6, "MTEPS")
+}
+
+func benchCC(b *testing.B, dataset string) {
+	g := perfGraph(b, dataset, false)
+	cfg := perfConfig(g)
+	b.ResetTimer()
+	var edges int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run[uint64, uint64](g, bcd.CC{}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges += res.Stats.EdgesTraversed
+	}
+	b.ReportMetric(float64(edges)/b.Elapsed().Seconds()/1e6, "MTEPS")
+}
+
+func BenchmarkPerfPR_LJ(b *testing.B)   { benchPR(b, "LJ") }
+func BenchmarkPerfPR_WT(b *testing.B)   { benchPR(b, "WT") }
+func BenchmarkPerfSSSP_LJ(b *testing.B) { benchSSSP(b, "LJ") }
+func BenchmarkPerfSSSP_WT(b *testing.B) { benchSSSP(b, "WT") }
+func BenchmarkPerfCC_LJ(b *testing.B)   { benchCC(b, "LJ") }
+func BenchmarkPerfCC_WT(b *testing.B)   { benchCC(b, "WT") }
+
+// --- telemetry overhead --------------------------------------------------
+//
+// The acceptance bar for the observability layer (DESIGN.md §9): with no
+// registry the engine pays only its own sharded counter adds (~0 relative
+// to the old false-sharing counter struct); with histograms and a sampled
+// tracer enabled the PR wall time stays within 5%.
+
+func benchTelemetry(b *testing.B, reg func() *telemetry.Registry) {
+	g := perfGraph(b, "LJ", false)
+	cfg := perfConfig(g)
+	b.ResetTimer()
+	var edges int64
+	for i := 0; i < b.N; i++ {
+		cfg.Telemetry = reg()
+		res, err := core.Run[float64, float64](g, bcd.PageRank{}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges += res.Stats.EdgesTraversed
+	}
+	b.ReportMetric(float64(edges)/b.Elapsed().Seconds()/1e6, "MTEPS")
+}
+
+func BenchmarkEngineTelemetryOff(b *testing.B) {
+	benchTelemetry(b, func() *telemetry.Registry { return nil })
+}
+
+func BenchmarkEngineTelemetryHist(b *testing.B) {
+	benchTelemetry(b, func() *telemetry.Registry {
+		return telemetry.New(telemetry.Options{Histograms: true})
+	})
+}
+
+func BenchmarkEngineTelemetryTrace(b *testing.B) {
+	var tracers []*telemetry.Tracer
+	defer func() {
+		for _, t := range tracers {
+			_ = t.Close()
+		}
+	}()
+	benchTelemetry(b, func() *telemetry.Registry {
+		t := telemetry.NewTracer(io.Discard, 16)
+		tracers = append(tracers, t)
+		return telemetry.New(telemetry.Options{Histograms: true, Tracer: t})
+	})
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Performance snapshot: runs the tier-1 benchmark set (PageRank / SSSP / CC
+# on the LJ and WT Table-I analogs, plus the telemetry-overhead pair) and
+# writes one machine-readable BENCH_<date>.json with MTEPS and wall time
+# per benchmark.
+#
+# Usage:
+#   scripts/bench.sh            full run (shrink 4, benchtime 10x, count 3)
+#   scripts/bench.sh --smoke    quick correctness pass (shrink 6, 1x, count 1),
+#                               writes to a temp file; wired into check.sh
+#
+# Environment overrides:
+#   GRAPHABCD_BENCH_SHRINK  dataset scale-down exponent (default per mode)
+#   BENCH_TIME              go test -benchtime value (default per mode)
+#   BENCH_COUNT             go test -count value (default per mode)
+#   BENCH_OUT               output path (default BENCH_<yyyymmdd>.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode=full
+if [[ "${1:-}" == "--smoke" ]]; then
+    mode=smoke
+fi
+
+if [[ "$mode" == "smoke" ]]; then
+    shrink="${GRAPHABCD_BENCH_SHRINK:-6}"
+    benchtime="${BENCH_TIME:-1x}"
+    count="${BENCH_COUNT:-1}"
+    out="${BENCH_OUT:-$(mktemp -t bench_smoke_XXXXXX.json)}"
+else
+    shrink="${GRAPHABCD_BENCH_SHRINK:-4}"
+    benchtime="${BENCH_TIME:-10x}"
+    count="${BENCH_COUNT:-3}"
+    out="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
+fi
+
+raw=$(mktemp -t bench_raw_XXXXXX.txt)
+trap 'rm -f "$raw"' EXIT
+
+echo "== bench (mode=$mode shrink=$shrink benchtime=$benchtime count=$count)"
+GRAPHABCD_BENCH_SHRINK="$shrink" go test -run '^$' \
+    -bench 'BenchmarkPerf|BenchmarkEngineTelemetry' \
+    -benchtime "$benchtime" -count "$count" . | tee "$raw"
+
+# Fold the benchmark lines into JSON. Lines look like:
+#   BenchmarkPerfPR_LJ-8   2   8013301 ns/op   30.39 MTEPS
+# Repeated -count runs of the same benchmark are averaged.
+awk -v mode="$mode" -v shrink="$shrink" -v benchtime="$benchtime" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip -GOMAXPROCS suffix
+    iters = $2
+    ns = 0; mteps = 0
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "MTEPS") mteps = $i
+    }
+    seen[name]++
+    sum_ns[name] += ns
+    sum_mteps[name] += mteps
+    sum_iters[name] += iters
+    if (!(name in order)) { order[name] = ++n; names[n] = name }
+}
+END {
+    if (n == 0) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"mode\": \"%s\",\n", mode
+    printf "  \"shrink\": %d,\n", shrink
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        k = seen[name]
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"iterations\": %d, \"ns_per_op\": %.0f, \"wall_seconds\": %.6f, \"mteps\": %.2f}%s\n", \
+            name, k, sum_iters[name], sum_ns[name] / k, \
+            sum_ns[name] / k / 1e9, sum_mteps[name] / k, \
+            (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out"

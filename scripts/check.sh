@@ -36,4 +36,7 @@ go test -count=1 ./...
 echo "== chaos suite (seeded fault injection, race detector)"
 go test -race -count=1 -timeout 90s ./internal/chaos
 
+echo "== bench smoke (tier-1 perf set, 1 iteration, small shrink)"
+./scripts/bench.sh --smoke
+
 echo "All checks passed."
