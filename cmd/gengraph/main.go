@@ -1,11 +1,12 @@
 // Command gengraph generates synthetic graphs (the Table-I dataset
 // analogs, or parameterized R-MAT / uniform / grid / rating graphs) and
-// writes them as plain-text edge lists.
+// writes them as text edge lists or binary snapshots.
 //
 // Usage:
 //
 //	gengraph -kind rmat -scale 14 -edgefactor 16 -o graph.el
-//	gengraph -kind dataset -name LJ -shrink 2 -o lj.el
+//	gengraph -kind rmat -scale 20 -o graph.gabs     # snapshot, by extension
+//	gengraph -kind dataset -name LJ -shrink 2 -format snapshot -o lj.bin
 //	gengraph -kind rating -users 1000 -items 200 -ratings 50000 -o nf.el
 package main
 
@@ -22,6 +23,7 @@ func main() {
 	var (
 		kind    = flag.String("kind", "rmat", "generator: rmat | uniform | grid | rating | dataset")
 		out     = flag.String("o", "", "output file (default stdout)")
+		format  = flag.String("format", "auto", "output format: auto | text | snapshot | snapshot-compressed (auto: by -o extension, .gabs/.gabz are snapshots)")
 		seed    = flag.Uint64("seed", 42, "generator seed")
 		maxW    = flag.Int("maxweight", 0, "integer weights in [1,maxweight]; 0 = unweighted")
 		scale   = flag.Int("scale", 12, "rmat: |V| = 2^scale")
@@ -48,17 +50,30 @@ func main() {
 		os.Exit(1)
 	}
 
-	w := os.Stdout
+	var f graph.Format
+	switch *format {
+	case "auto":
+		f = graph.FormatAuto
+	case "text":
+		f = graph.FormatText
+	case "snapshot":
+		f = graph.FormatSnapshot
+	case "snapshot-compressed":
+		f = graph.FormatSnapshotCompressed
+	default:
+		fmt.Fprintf(os.Stderr, "gengraph: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		if err := graph.SaveFormat(*out, g, f); err != nil {
 			fmt.Fprintln(os.Stderr, "gengraph:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
+		fmt.Fprintf(os.Stderr, "wrote %s as %s\n", g, graph.DetectSaveFormat(*out, f))
+		return
 	}
-	if err := graph.WriteEdgeList(w, g); err != nil {
+	if err := graph.WriteFormat(os.Stdout, g, f); err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
 		os.Exit(1)
 	}

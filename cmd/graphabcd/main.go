@@ -9,6 +9,12 @@
 //	graphabcd -algo sssp -graph weighted.el -source 0 -mode bsp
 //	graphabcd -algo cf -dataset NF -shrink 3 -max-epochs 20 -sim
 //
+// -graph accepts both the text edge list and the binary snapshot formats
+// (auto-detected); -save-graph writes the loaded graph back out, so a
+// text dataset is converted to a fast-loading snapshot with:
+//
+//	graphabcd -algo pr -graph big.el -save-graph big.gabs
+//
 // Passing -nodes N (N > 1) runs pr/sssp/bfs/cc on the distributed cluster
 // engine instead, optionally under injected transport faults:
 //
@@ -47,7 +53,8 @@ func main() {
 func run() error {
 	var (
 		algo      = flag.String("algo", "pr", "algorithm: pr | sssp | bfs | cc | lp | cf")
-		graphFile = flag.String("graph", "", "edge-list file (alternative to -dataset)")
+		graphFile = flag.String("graph", "", "graph file, text edge list or binary snapshot (alternative to -dataset)")
+		saveGraph = flag.String("save-graph", "", "write the loaded graph to this path before running (.gabs snapshot, .gabz compressed snapshot, else text)")
 		dataset   = flag.String("dataset", "", "Table-I analog name (WT PS LJ TW SAC MOL NF)")
 		shrink    = flag.Int("shrink", 2, "dataset scale-down exponent")
 		source    = flag.Uint("source", 0, "source vertex for sssp/bfs (default: max out-degree)")
@@ -62,7 +69,7 @@ func run() error {
 		eps       = flag.Float64("eps", 1e-9, "activation threshold")
 		maxEpochs = flag.Float64("max-epochs", 0, "epoch budget (0 = run to convergence)")
 		useSim    = flag.Bool("sim", false, "attach the HARPv2 accelerator model")
-		store     = flag.String("edgestore", "memory", "edge storage backend: memory | file | compressed (file/compressed spill to a temp file and stream out-of-core)")
+		store     = flag.String("edgestore", "memory", "edge storage backend: memory | file | compressed | snapshot (non-memory backends spill to a temp file and stream out-of-core)")
 		top       = flag.Int("top", 5, "print the top-K vertices by value")
 		rank      = flag.Int("rank", 8, "cf: factor rank")
 
@@ -100,6 +107,12 @@ func run() error {
 		return err
 	}
 	fmt.Printf("graph: %s\n", g)
+	if *saveGraph != "" {
+		if err := graph.Save(*saveGraph, g); err != nil {
+			return err
+		}
+		fmt.Printf("saved: %s (%s)\n", *saveGraph, graph.DetectSaveFormat(*saveGraph, graph.FormatAuto))
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -194,6 +207,9 @@ func run() error {
 		cfg.Policy = sched.Random
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	var sim *accel.Simulator
 	if *useSim {
@@ -388,7 +404,7 @@ func openEdgeStore(g *graph.Graph, kind string) (edgestore.Source, func(), error
 	switch kind {
 	case "memory", "":
 		return nil, nop, nil // engine default
-	case "file", "compressed":
+	case "file", "compressed", "snapshot":
 		dir, err := os.MkdirTemp("", "graphabcd-edges")
 		if err != nil {
 			return nil, nop, err
@@ -396,13 +412,18 @@ func openEdgeStore(g *graph.Graph, kind string) (edgestore.Source, func(), error
 		cleanup := func() { _ = os.RemoveAll(dir) } // best-effort temp cleanup
 		path := filepath.Join(dir, "edges")
 		var src edgestore.Source
-		if kind == "file" {
+		switch kind {
+		case "file":
 			if err = edgestore.WriteFile(g, path); err == nil {
 				src, err = edgestore.OpenFile(g, path)
 			}
-		} else {
+		case "compressed":
 			if err = edgestore.WriteCompressed(g, path); err == nil {
 				src, err = edgestore.OpenCompressed(g, path)
+			}
+		case "snapshot":
+			if err = graph.SaveFormat(path, g, graph.FormatSnapshot); err == nil {
+				src, err = edgestore.OpenSnapshot(g, path)
 			}
 		}
 		if err != nil {
@@ -418,12 +439,7 @@ func openEdgeStore(g *graph.Graph, kind string) (edgestore.Source, func(), error
 func loadGraph(file, dataset string, shrink int, algo string) (*graph.Graph, error) {
 	switch {
 	case file != "":
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.ReadEdgeList(f)
+		return graph.Load(file)
 	case dataset != "":
 		d, err := gen.Lookup(dataset)
 		if err != nil {

@@ -43,10 +43,85 @@ type Edge = graph.Edge
 // NewGraph builds a Graph over vertices [0, n) from an edge list.
 func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
 
-// ReadEdgeList parses a plain-text "src dst [weight]" edge list.
+// GraphBuilder incrementally assembles a graph from concurrent producers:
+// create one shard per producing goroutine, Add edges, then Build. The
+// construction is the parallel counting sort described in DESIGN.md §10.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder over vertices [0, n); a negative n
+// auto-sizes the graph to 1 + the maximum vertex id added.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// Format identifies an on-disk graph encoding for Load and Save.
+type Format = graph.Format
+
+// Graph file formats.
+const (
+	// FormatAuto detects the format: by magic bytes on load, by
+	// extension on save (".gabs" plain snapshot, ".gabz" compressed
+	// snapshot, anything else the text edge list).
+	FormatAuto = graph.FormatAuto
+	// FormatText is the "src dst [weight]" edge-list text format.
+	FormatText = graph.FormatText
+	// FormatSnapshot is the binary snapshot of the dual CSC/CSR layout:
+	// built once, reloaded in O(m) without re-sorting, and usable
+	// directly as an out-of-core edge store (OpenSnapshotEdges).
+	FormatSnapshot = graph.FormatSnapshot
+	// FormatSnapshotCompressed is the snapshot with delta-varint
+	// compressed sections; smaller, but not preadable as an edge store.
+	FormatSnapshotCompressed = graph.FormatSnapshotCompressed
+)
+
+// LoadOption configures Load.
+type LoadOption interface{ applyLoad(*fileOptions) }
+
+// SaveOption configures Save.
+type SaveOption interface{ applySave(*fileOptions) }
+
+type fileOptions struct{ format Format }
+
+// FormatOption forces a specific file format; it satisfies both
+// LoadOption and SaveOption.
+type FormatOption struct{ format Format }
+
+func (o FormatOption) applyLoad(c *fileOptions) { c.format = o.format }
+func (o FormatOption) applySave(c *fileOptions) { c.format = o.format }
+
+// WithFormat overrides format auto-detection for Load or Save — e.g.
+// saving a snapshot to a path without a ".gabs" extension, or refusing
+// to fall back to the text parser on load.
+func WithFormat(f Format) FormatOption { return FormatOption{format: f} }
+
+// Load reads a graph from path. The format is auto-detected from the
+// file's magic bytes — a binary snapshot reloads the prebuilt layout in
+// O(m); anything else parses as the text edge list (chunked and parsed
+// in parallel across GOMAXPROCS).
+func Load(path string, opts ...LoadOption) (*Graph, error) {
+	c := fileOptions{format: FormatAuto}
+	for _, o := range opts {
+		o.applyLoad(&c)
+	}
+	return graph.LoadFormat(path, c.format)
+}
+
+// Save writes g to path atomically (temporary sibling + rename). The
+// format follows the extension — ".gabs" plain snapshot, ".gabz"
+// compressed snapshot, anything else the text edge list — unless
+// WithFormat overrides it.
+func Save(path string, g *Graph, opts ...SaveOption) error {
+	c := fileOptions{format: FormatAuto}
+	for _, o := range opts {
+		o.applySave(&c)
+	}
+	return graph.SaveFormat(path, g, c.format)
+}
+
+// ReadEdgeList parses a plain-text "src dst [weight]" edge list. It is
+// the io.Reader form of Load on a text file; prefer Load for paths.
 func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
-// WriteEdgeList writes g in the format ReadEdgeList parses.
+// WriteEdgeList writes g in the format ReadEdgeList parses. It is the
+// io.Writer form of Save with FormatText; prefer Save for paths.
 func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
 
 // Program is the GAS/BCD vertex program abstraction; implement it to run
@@ -134,55 +209,64 @@ type Result[V any] = core.Result[V]
 // Run executes any Program over g. Instantiate the type parameters from
 // the program, e.g. Run[float64, float64](g, PageRank{}, cfg).
 func Run[V, M any](g *Graph, prog Program[V, M], cfg Config) (*Result[V], error) {
-	return core.Run(g, prog, cfg)
+	return RunContext(context.Background(), g, prog, cfg)
+}
+
+// RunContext is Run with cancellation and deadline support: when ctx is
+// cancelled the engine drains gracefully and returns the partial
+// fixed-point computed so far with Stats.Converged == false. Every
+// RunXxx helper routes through it; the config is validated
+// (Config.Validate) before any goroutine starts.
+func RunContext[V, M any](ctx context.Context, g *Graph, prog Program[V, M], cfg Config) (*Result[V], error) {
+	return core.RunContext(ctx, g, prog, cfg)
 }
 
 // RunPageRank runs PageRank with default damping (0.85) to convergence.
 func RunPageRank(g *Graph, cfg Config) (*Result[float64], error) {
-	return core.Run[float64, float64](g, bcd.PageRank{}, cfg)
+	return RunContext[float64, float64](context.Background(), g, bcd.PageRank{}, cfg)
 }
 
 // RunSSSP runs single-source shortest path from source. Unreachable
 // vertices hold +Inf.
 func RunSSSP(g *Graph, source uint32, cfg Config) (*Result[float64], error) {
-	return core.Run[float64, float64](g, bcd.SSSP{Source: source}, cfg)
+	return RunContext[float64, float64](context.Background(), g, bcd.SSSP{Source: source}, cfg)
 }
 
 // RunBFS computes BFS levels from source (Unreached if unreachable).
 func RunBFS(g *Graph, source uint32, cfg Config) (*Result[uint64], error) {
-	return core.Run[uint64, uint64](g, bcd.BFS{Source: source}, cfg)
+	return RunContext[uint64, uint64](context.Background(), g, bcd.BFS{Source: source}, cfg)
 }
 
 // RunCC computes connected components (directed min-label propagation;
 // symmetrize the graph for undirected components).
 func RunCC(g *Graph, cfg Config) (*Result[uint64], error) {
-	return core.Run[uint64, uint64](g, bcd.CC{}, cfg)
+	return RunContext[uint64, uint64](context.Background(), g, bcd.CC{}, cfg)
 }
 
 // RunLabelProp runs majority label propagation. Set cfg.MaxEpochs: label
 // propagation may oscillate under synchronous execution.
 func RunLabelProp(g *Graph, cfg Config) (*Result[uint64], error) {
-	return core.Run[uint64, bcd.LPAccum](g, bcd.LabelProp{}, cfg)
+	return RunContext[uint64, bcd.LPAccum](context.Background(), g, bcd.LabelProp{}, cfg)
 }
 
 // RunCF runs collaborative filtering with the given parameters. Set
 // cfg.MaxEpochs — CF iterates until its budget. Evaluate quality with
 // params.RMSE(g, res.Values).
 func RunCF(g *Graph, params CF, cfg Config) (*Result[[]float32], error) {
-	return core.Run[[]float32, []float64](g, params, cfg)
+	return RunContext[[]float32, []float64](context.Background(), g, params, cfg)
 }
 
 // RunPageRankDelta runs the operation-based PageRank variant. It reaches
 // the same fixpoint as RunPageRank but exercises the engine's atomic
 // delta-accumulation path.
 func RunPageRankDelta(g *Graph, cfg Config) (*Result[float64], error) {
-	return core.Run[float64, float64](g, bcd.PageRankDelta{}, cfg)
+	return RunContext[float64, float64](context.Background(), g, bcd.PageRankDelta{}, cfg)
 }
 
 // RunKCore computes every vertex's coreness. The graph must be symmetric
 // (both edge directions present).
 func RunKCore(g *Graph, cfg Config) (*Result[uint64], error) {
-	return core.Run[uint64, bcd.KCoreAccum](g, bcd.KCore{}, cfg)
+	return RunContext[uint64, bcd.KCoreAccum](context.Background(), g, bcd.KCore{}, cfg)
 }
 
 // Simulator is the HARPv2 accelerator cost model; attach one via
@@ -281,13 +365,29 @@ type EdgeSource = edgestore.Source
 // InMemoryEdges is the default zero-copy source over the graph's arrays.
 func InMemoryEdges(g *Graph) EdgeSource { return edgestore.InMemory(g) }
 
+// OpenSnapshotEdges opens a plain snapshot saved with Save (or
+// WithFormat(FormatSnapshot)) as an out-of-core edge source for g: the
+// one file both reloads the graph and streams its edge blocks, replacing
+// the separate WriteEdgeFile spill.
+func OpenSnapshotEdges(g *Graph, path string) (EdgeSource, error) {
+	return edgestore.OpenSnapshot(g, path)
+}
+
 // WriteEdgeFile spills g's static edge structure to a raw binary file.
+//
+// Kept as a thin wrapper for existing callers; new code should Save a
+// FormatSnapshot file, which OpenSnapshotEdges can stream from and Load
+// can reload without rebuilding.
 func WriteEdgeFile(g *Graph, path string) error { return edgestore.WriteFile(g, path) }
 
 // OpenEdgeFile opens a raw edge file for out-of-core execution.
+//
+// Kept as a thin wrapper for existing callers; see WriteEdgeFile.
 func OpenEdgeFile(g *Graph, path string) (EdgeSource, error) { return edgestore.OpenFile(g, path) }
 
-// WriteCompressedEdges writes the delta-varint compressed edge format.
+// WriteCompressedEdges writes the delta-varint compressed edge format,
+// the compact representation of Sec. VI-C. Unlike snapshots this stores
+// only the edge structure, not the full reloadable layout.
 func WriteCompressedEdges(g *Graph, path string) error { return edgestore.WriteCompressed(g, path) }
 
 // OpenCompressedEdges opens a compressed edge file for execution.

@@ -1,0 +1,149 @@
+package graphabcd
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"graphabcd/internal/graph"
+)
+
+// ingestScale is the R-MAT scale for the BenchmarkPerfBuild*/Load* set.
+// The acceptance target is scale 18 (262k vertices, 4.2M edges);
+// scripts/bench.sh --smoke drops it via GRAPHABCD_BENCH_SCALE so the
+// check gate stays fast.
+func ingestScale() int {
+	if s := os.Getenv("GRAPHABCD_BENCH_SCALE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 && n <= 26 {
+			return n
+		}
+	}
+	return 18
+}
+
+// ingestEdges generates a Graph500-style R-MAT edge list (a=0.57 b=c=0.19)
+// with a local splitmix64 stream, independent of internal/gen so the
+// build benchmarks measure construction only.
+func ingestEdges(scale int) []graph.Edge {
+	n := 1 << scale
+	m := 16 * n
+	s := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		src, dst := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			p := float64(next()>>11) / (1 << 53)
+			switch {
+			case p < 0.57:
+			case p < 0.76:
+				dst |= 1 << bit
+			case p < 0.95:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		edges[i] = graph.Edge{Src: uint32(src), Dst: uint32(dst), Weight: 1}
+	}
+	return edges
+}
+
+// benchBuild measures one builder over the scale-configured R-MAT edge
+// list, reporting construction throughput in MEPS (million edges/s).
+func benchBuild(b *testing.B, build func(n int, edges []graph.Edge) (*graph.Graph, error)) {
+	scale := ingestScale()
+	edges := ingestEdges(scale)
+	n := 1 << scale
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := build(n, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(edges))/b.Elapsed().Seconds()/1e6, "MEPS")
+}
+
+// BenchmarkPerfBuildCounting is the parallel counting-sort builder
+// (graph.FromEdges) on an R-MAT scale-18 edge list.
+func BenchmarkPerfBuildCounting(b *testing.B) { benchBuild(b, graph.FromEdges) }
+
+// BenchmarkPerfBuildCounting1T is the counting-sort builder pinned to
+// GOMAXPROCS=1: the acceptance claim is that the linear construction
+// beats the seed comparison sort even without parallelism.
+func BenchmarkPerfBuildCounting1T(b *testing.B) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	benchBuild(b, graph.FromEdges)
+}
+
+// BenchmarkPerfBuildSort is the seed sort-based builder
+// (graph.FromEdgesSort), the baseline the counting sort replaces.
+func BenchmarkPerfBuildSort(b *testing.B) { benchBuild(b, graph.FromEdgesSort) }
+
+// ingestGraph builds the benchmark graph once per process.
+func ingestGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	scale := ingestScale()
+	g, err := graph.FromEdges(1<<scale, ingestEdges(scale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkPerfLoadText measures the full text ingestion path — chunked
+// parallel parse plus counting-sort build — from an in-memory edge list.
+func BenchmarkPerfLoadText(b *testing.B) {
+	g := ingestGraph(b)
+	var text bytes.Buffer
+	if err := graph.WriteEdgeList(&text, g); err != nil {
+		b.Fatal(err)
+	}
+	data := text.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g2, err := graph.ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			b.Fatalf("parsed %d edges, want %d", g2.NumEdges(), g.NumEdges())
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(g.NumEdges())/b.Elapsed().Seconds()/1e6, "MEPS")
+}
+
+// BenchmarkPerfLoadSnapshot measures reloading the same graph from the
+// plain binary snapshot — the O(m) path that skips parse and sort. The
+// acceptance target is >= 5x the BenchmarkPerfLoadText wall time.
+func BenchmarkPerfLoadSnapshot(b *testing.B) {
+	g := ingestGraph(b)
+	var snap bytes.Buffer
+	if err := graph.WriteSnapshot(&snap, g); err != nil {
+		b.Fatal(err)
+	}
+	data := snap.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g2, err := graph.ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			b.Fatalf("loaded %d edges, want %d", g2.NumEdges(), g.NumEdges())
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(g.NumEdges())/b.Elapsed().Seconds()/1e6, "MEPS")
+}

@@ -138,25 +138,28 @@ func DefaultConfig(blockSize int) Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports the first configuration error with an actionable
+// message. Every engine entry point (all three Modes route through
+// RunContext) calls it before starting any goroutine, so a bad config
+// fails fast instead of deadlocking or spinning.
 func (c Config) Validate() error {
 	switch {
 	case c.BlockSize < 0:
-		return fmt.Errorf("core: negative block size %d", c.BlockSize)
+		return fmt.Errorf("core: BlockSize %d is negative; use a positive block size (vertices per block), or 0 to default to one block per vertex range — DefaultConfig(256) is a reasonable start", c.BlockSize)
 	case c.NumPEs <= 0:
-		return fmt.Errorf("core: NumPEs must be positive, got %d", c.NumPEs)
+		return fmt.Errorf("core: NumPEs %d leaves no GATHER-APPLY workers; set NumPEs >= 1 (DefaultConfig uses 4)", c.NumPEs)
 	case c.NumScatter <= 0:
-		return fmt.Errorf("core: NumScatter must be positive, got %d", c.NumScatter)
+		return fmt.Errorf("core: NumScatter %d leaves no SCATTER workers, so gathered blocks would never publish; set NumScatter >= 1 (DefaultConfig uses 2)", c.NumScatter)
 	case c.Epsilon < 0:
-		return fmt.Errorf("core: negative epsilon %g", c.Epsilon)
+		return fmt.Errorf("core: Epsilon %g is negative; the activation threshold must be >= 0 (0 keeps every update active, 1e-9 is the default)", c.Epsilon)
 	case c.MaxEpochs < 0:
-		return fmt.Errorf("core: negative MaxEpochs %g", c.MaxEpochs)
+		return fmt.Errorf("core: MaxEpochs %g is negative; use 0 to run to convergence or a positive epoch budget", c.MaxEpochs)
 	case c.QueueDepth < 0:
-		return fmt.Errorf("core: negative QueueDepth %d", c.QueueDepth)
+		return fmt.Errorf("core: QueueDepth %d is negative; use 0 for the default (2x the consuming workers) or a positive staleness bound", c.QueueDepth)
 	case c.Mode != Async && c.Mode != Barrier && c.Mode != BSP:
-		return fmt.Errorf("core: unknown mode %v", c.Mode)
+		return fmt.Errorf("core: unknown mode %v; valid modes are Async, Barrier, and BSP", c.Mode)
 	case c.Policy != sched.Cyclic && c.Policy != sched.Priority && c.Policy != sched.Random:
-		return fmt.Errorf("core: unknown policy %v", c.Policy)
+		return fmt.Errorf("core: unknown policy %v; valid policies are Cyclic, Priority, and Random", c.Policy)
 	}
 	return nil
 }

@@ -103,14 +103,22 @@ func OpenFile(g *graph.Graph, path string) (_ Source, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return &fileSource{g: g, f: f, size: fi.Size()}, nil
+	m := int64(g.NumEdges())
+	return &fileSource{g: g, f: f, size: fi.Size(),
+		srcOff: headerBytes, wOff: headerBytes + 4*m}, nil
 }
 
+// fileSource preads vertex-aligned slot ranges out of any file that
+// stores the inSrc and inW arrays as contiguous little-endian u32 runs —
+// the raw GABE edge file and the plain graph snapshot both qualify, at
+// different base offsets.
 type fileSource struct {
-	g    *graph.Graph
-	f    *os.File
-	size int64
-	pool sync.Pool // *blockBuf
+	g      *graph.Graph
+	f      *os.File
+	size   int64
+	srcOff int64     // file offset of inSrc[0]
+	wOff   int64     // file offset of inW[0]
+	pool   sync.Pool // *blockBuf
 }
 
 type blockBuf struct {
@@ -135,12 +143,10 @@ func (s *fileSource) Block(vlo, vhi int, slo, shi int64) ([]uint32, []float32, f
 	}
 	bb.src, bb.w = bb.src[:n], bb.w[:n]
 
-	m := int64(s.g.NumEdges())
-	if err := s.readU32s(headerBytes+4*slo, bb.raw[:4*n], bb.src); err != nil {
+	if err := s.readU32s(s.srcOff+4*slo, bb.raw[:4*n], bb.src); err != nil {
 		return nil, nil, nil, err
 	}
-	wOff := headerBytes + 4*m + 4*slo
-	if err := s.readF32s(wOff, bb.raw[:4*n], bb.w); err != nil {
+	if err := s.readF32s(s.wOff+4*slo, bb.raw[:4*n], bb.w); err != nil {
 		return nil, nil, nil, err
 	}
 	return bb.src, bb.w, func() { s.pool.Put(bb) }, nil

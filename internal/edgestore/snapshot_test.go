@@ -1,0 +1,51 @@
+package edgestore
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphabcd/internal/graph"
+)
+
+func TestSnapshotSource(t *testing.T) {
+	g := testGraph(t, true)
+	path := filepath.Join(t.TempDir(), "g.gabs")
+	if err := graph.SaveFormat(path, g, graph.FormatSnapshot); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSnapshot(g, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Bytes() <= 0 {
+		t.Fatalf("Bytes() = %d, want > 0", s.Bytes())
+	}
+	checkSource(t, g, s)
+}
+
+func TestSnapshotSourceRejects(t *testing.T) {
+	g := testGraph(t, false)
+	dir := t.TempDir()
+
+	comp := filepath.Join(dir, "g.gabz")
+	if err := graph.SaveFormat(comp, g, graph.FormatSnapshotCompressed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSnapshot(g, comp); err == nil || !strings.Contains(err.Error(), "compressed") {
+		t.Fatalf("want compressed-snapshot rejection, got %v", err)
+	}
+
+	other, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch := filepath.Join(dir, "other.gabs")
+	if err := graph.SaveFormat(mismatch, other, graph.FormatSnapshot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSnapshot(g, mismatch); err == nil || !strings.Contains(err.Error(), "graph has") {
+		t.Fatalf("want size-mismatch rejection, got %v", err)
+	}
+}

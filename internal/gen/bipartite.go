@@ -87,7 +87,9 @@ func Rating(cfg RatingConfig) (*RatingGraph, error) {
 	}
 
 	n := cfg.Users + cfg.Items
-	edges := make([]graph.Edge, 0, 2*cfg.Ratings)
+	b := graph.NewBuilder(n)
+	sh := b.NewShard()
+	sh.Grow(2 * cfg.Ratings)
 	for i := 0; i < cfg.Ratings; i++ {
 		p := r.intn(cfg.Users)
 		q := pickItem()
@@ -104,12 +106,10 @@ func Rating(cfg RatingConfig) (*RatingGraph, error) {
 		}
 		u, it := uint32(p), uint32(cfg.Users+q)
 		w := float32(rating)
-		edges = append(edges,
-			graph.Edge{Src: u, Dst: it, Weight: w},
-			graph.Edge{Src: it, Dst: u, Weight: w},
-		)
+		sh.Add(u, it, w)
+		sh.Add(it, u, w)
 	}
-	g, err := graph.FromEdges(n, edges)
+	g, err := b.Build()
 	if err != nil {
 		return nil, err
 	}

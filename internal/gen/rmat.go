@@ -43,7 +43,13 @@ func RMAT(cfg RMATConfig) (*graph.Graph, error) {
 	r := newRNG(cfg.Seed)
 	perm := scramble(n, r)
 
-	edges := make([]graph.Edge, 0, m)
+	// Edges stream straight into a builder shard: generation stays a
+	// single sequential RNG stream (deterministic for a given seed) while
+	// Build runs the parallel counting sort, with no intermediate edge
+	// slice.
+	b := graph.NewBuilder(n)
+	sh := b.NewShard()
+	sh.Grow(m)
 	for i := 0; i < m; i++ {
 		src, dst := 0, 0
 		for bit := 0; bit < cfg.Scale; bit++ {
@@ -64,9 +70,9 @@ func RMAT(cfg RMATConfig) (*graph.Graph, error) {
 		if cfg.MaxWeight > 0 {
 			w = float32(1 + r.intn(cfg.MaxWeight))
 		}
-		edges = append(edges, graph.Edge{Src: perm[src], Dst: perm[dst], Weight: w})
+		sh.Add(perm[src], perm[dst], w)
 	}
-	return graph.FromEdges(n, edges)
+	return b.Build()
 }
 
 // scramble returns a pseudo-random permutation of [0, n).

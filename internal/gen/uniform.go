@@ -17,15 +17,17 @@ func Uniform(n, m int, maxWeight int, seed uint64) (*graph.Graph, error) {
 		return nil, fmt.Errorf("gen: negative edge count %d", m)
 	}
 	r := newRNG(seed)
-	edges := make([]graph.Edge, m)
-	for i := range edges {
+	b := graph.NewBuilder(n)
+	sh := b.NewShard()
+	sh.Grow(m)
+	for i := 0; i < m; i++ {
 		w := float32(1)
 		if maxWeight > 0 {
 			w = float32(1 + r.intn(maxWeight))
 		}
-		edges[i] = graph.Edge{Src: uint32(r.intn(n)), Dst: uint32(r.intn(n)), Weight: w}
+		sh.Add(uint32(r.intn(n)), uint32(r.intn(n)), w)
 	}
-	return graph.FromEdges(n, edges)
+	return b.Build()
 }
 
 // Grid generates a rows x cols 4-neighbour mesh with bidirectional edges,
@@ -38,13 +40,16 @@ func Grid(rows, cols, maxWeight int, seed uint64) (*graph.Graph, error) {
 	r := newRNG(seed)
 	n := rows * cols
 	id := func(i, j int) uint32 { return uint32(i*cols + j) }
-	var edges []graph.Edge
+	b := graph.NewBuilder(n)
+	sh := b.NewShard()
+	sh.Grow(2 * (rows*(cols-1) + (rows-1)*cols))
 	add := func(a, b uint32) {
 		w := float32(1)
 		if maxWeight > 0 {
 			w = float32(1 + r.intn(maxWeight))
 		}
-		edges = append(edges, graph.Edge{Src: a, Dst: b, Weight: w}, graph.Edge{Src: b, Dst: a, Weight: w})
+		sh.Add(a, b, w)
+		sh.Add(b, a, w)
 	}
 	for i := 0; i < rows; i++ {
 		for j := 0; j < cols; j++ {
@@ -56,7 +61,7 @@ func Grid(rows, cols, maxWeight int, seed uint64) (*graph.Graph, error) {
 			}
 		}
 	}
-	return graph.FromEdges(n, edges)
+	return b.Build()
 }
 
 // Chain generates a directed path 0 -> 1 -> ... -> n-1, the worst case for
@@ -65,9 +70,11 @@ func Chain(n int) (*graph.Graph, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("gen: chain needs n > 0, got %d", n)
 	}
-	edges := make([]graph.Edge, 0, n-1)
+	b := graph.NewBuilder(n)
+	sh := b.NewShard()
+	sh.Grow(n - 1)
 	for v := 0; v < n-1; v++ {
-		edges = append(edges, graph.Edge{Src: uint32(v), Dst: uint32(v + 1), Weight: 1})
+		sh.Add(uint32(v), uint32(v+1), 1)
 	}
-	return graph.FromEdges(n, edges)
+	return b.Build()
 }

@@ -1,0 +1,368 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Builder assembles the dual CSC/CSR layout from edges accumulated in
+// independent shards, replacing the comparison sort the original FromEdges
+// used with a parallel two-pass counting sort. The pull-push layout is
+// precisely a sort by (dst, src), so construction is linear:
+//
+//	pass 1  counting-sort all shards by src  -> the CSR key order
+//	pass 2  stable counting-sort by dst      -> the CSC (dst, src) order
+//	pass 3  counting-scatter CSC slots by src -> outDst/outPos
+//
+// Each pass is per-shard (or per-chunk) histogram -> prefix-sum offsets ->
+// parallel scatter into final slots; no comparison sort, no per-edge
+// allocations. Stability of the chunked scatter (chunks processed in
+// order, per-chunk cursors starting after all earlier chunks) makes the
+// final layout deterministic and byte-identical on inOff/inSrc/outOff/
+// outDst/outPos to the legacy sort-based builder.
+//
+// Usage: create shards with NewShard (one per producing goroutine), Add
+// edges concurrently, then call Build once from a single goroutine after
+// all producers finished. A Builder is single-use.
+type Builder struct {
+	n   int // fixed vertex count, or -1 for 1 + max vertex id
+	min int // minimum vertex count in auto mode (EnsureVertices)
+
+	mu     sync.Mutex
+	shards []*Shard
+}
+
+// NewBuilder returns a builder over vertices [0, n). A negative n sizes
+// the graph automatically to 1 + the maximum vertex id seen (the text
+// reader's behaviour); EnsureVertices can raise that minimum.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		return &Builder{n: -1}
+	}
+	return &Builder{n: n}
+}
+
+// EnsureVertices raises the minimum vertex count of an auto-sized builder
+// (e.g. from a "# vertices=N" header hint). It has no effect on a builder
+// with a fixed n. Safe to call concurrently with shard writes.
+func (b *Builder) EnsureVertices(n int) {
+	b.mu.Lock()
+	if n > b.min {
+		b.min = n
+	}
+	b.mu.Unlock()
+}
+
+// NewShard registers and returns a fresh edge shard. Creating shards is
+// safe from any goroutine; each returned shard must be written by one
+// goroutine only. Build memory grows with shards x vertices, so create
+// about one shard per producing goroutine, not one per batch.
+func (b *Builder) NewShard() *Shard {
+	s := &Shard{}
+	b.mu.Lock()
+	b.shards = append(b.shards, s)
+	b.mu.Unlock()
+	return s
+}
+
+// Shard is a single-producer edge buffer feeding a Builder. Edges are
+// stored struct-of-arrays so the counting passes stream each key array
+// sequentially.
+type Shard struct {
+	src, dst []uint32
+	w        []float32
+	maxID    uint32
+}
+
+// Add appends one edge to the shard.
+func (s *Shard) Add(src, dst uint32, weight float32) {
+	if src > s.maxID {
+		s.maxID = src
+	}
+	if dst > s.maxID {
+		s.maxID = dst
+	}
+	s.src = append(s.src, src)
+	s.dst = append(s.dst, dst)
+	s.w = append(s.w, weight)
+}
+
+// AddEdges appends a batch of edges to the shard.
+func (s *Shard) AddEdges(edges []Edge) {
+	for _, e := range edges {
+		s.Add(e.Src, e.Dst, e.Weight)
+	}
+}
+
+// Grow pre-sizes the shard for k additional edges.
+func (s *Shard) Grow(k int) {
+	if k <= 0 {
+		return
+	}
+	if need := len(s.src) + k; need > cap(s.src) {
+		src := make([]uint32, len(s.src), need)
+		copy(src, s.src)
+		s.src = src
+		dst := make([]uint32, len(s.dst), need)
+		copy(dst, s.dst)
+		s.dst = dst
+		w := make([]float32, len(s.w), need)
+		copy(w, s.w)
+		s.w = w
+	}
+}
+
+// Len returns the number of edges in the shard.
+func (s *Shard) Len() int { return len(s.src) }
+
+// Build runs the parallel counting-sort construction and returns the
+// graph. It must be called once, after every shard producer has finished.
+func (b *Builder) Build() (*Graph, error) {
+	b.mu.Lock()
+	shards := b.shards
+	b.shards = nil
+	n, min := b.n, b.min
+	b.mu.Unlock()
+
+	m := 0
+	maxID := int64(-1)
+	for _, s := range shards {
+		m += len(s.src)
+		if len(s.src) > 0 && int64(s.maxID) > maxID {
+			maxID = int64(s.maxID)
+		}
+	}
+	if m > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: %d edges exceed the 2^31-1 builder limit", m)
+	}
+	if n < 0 {
+		n = int(maxID + 1)
+		if min > n {
+			n = min
+		}
+	} else if maxID >= int64(n) {
+		s, d := findOutOfRange(shards, uint32(n))
+		return nil, fmt.Errorf("graph: edge (%d->%d) out of range [0,%d)", s, d, n)
+	}
+
+	g := &Graph{
+		n:      n,
+		m:      m,
+		inOff:  make([]int64, n+1),
+		inSrc:  make([]uint32, m),
+		inW:    make([]float32, m),
+		outOff: make([]int64, n+1),
+		outDst: make([]uint32, m),
+		outPos: make([]int64, m),
+		outDeg: make([]int32, n),
+		inDeg:  make([]int32, n),
+	}
+	if m == 0 {
+		return g, nil
+	}
+
+	// Drop empty shards: every remaining shard is one unit of pass-1
+	// parallelism and one histogram row.
+	live := shards[:0]
+	for _, s := range shards {
+		if len(s.src) > 0 {
+			live = append(live, s)
+		}
+	}
+	shards = live
+
+	workers := runtime.GOMAXPROCS(0)
+
+	// Pass 1: counting sort by src into the intermediate arrays. The src
+	// counts are exactly the out-degrees, so the prefix sum doubles as
+	// outOff.
+	hist := make([][]int32, len(shards))
+	parallelDo(len(shards), func(i int) {
+		h := make([]int32, n)
+		for _, s := range shards[i].src {
+			h[s]++
+		}
+		hist[i] = h
+	})
+	sumHistInto(g.outDeg, hist, workers)
+	for v := 0; v < n; v++ {
+		g.outOff[v+1] = g.outOff[v] + int64(g.outDeg[v])
+	}
+	histToCursors(hist, g.outOff, workers)
+	midSrc := make([]uint32, m)
+	midDst := make([]uint32, m)
+	midW := make([]float32, m)
+	parallelDo(len(shards), func(i int) {
+		h := hist[i]
+		s := shards[i]
+		for j, src := range s.src {
+			p := h[src]
+			h[src] = p + 1
+			midSrc[p] = src
+			midDst[p] = s.dst[j]
+			midW[p] = s.w[j]
+		}
+	})
+
+	// Pass 2: stable counting sort of the intermediate by dst, writing
+	// the CSC arrays. The dst counts are the in-degrees; the scatter also
+	// records each final slot's destination for pass 3.
+	chunks := chunkBounds(m, workers)
+	hist2 := make([][]int32, len(chunks))
+	parallelDo(len(chunks), func(c int) {
+		h := make([]int32, n)
+		for _, d := range midDst[chunks[c].lo:chunks[c].hi] {
+			h[d]++
+		}
+		hist2[c] = h
+	})
+	sumHistInto(g.inDeg, hist2, workers)
+	for v := 0; v < n; v++ {
+		g.inOff[v+1] = g.inOff[v] + int64(g.inDeg[v])
+	}
+	histToCursors(hist2, g.inOff, workers)
+	slotDst := make([]uint32, m)
+	parallelDo(len(chunks), func(c int) {
+		h := hist2[c]
+		for i := chunks[c].lo; i < chunks[c].hi; i++ {
+			d := midDst[i]
+			p := h[d]
+			h[d] = p + 1
+			g.inSrc[p] = midSrc[i]
+			g.inW[p] = midW[i]
+			slotDst[p] = d
+		}
+	})
+
+	// Pass 3: counting-scatter the CSC slots by source to build the CSR
+	// view. Slots are streamed in ascending order per chunk, so each
+	// source's out-edges land in slot order — identical to the legacy
+	// builder's sequential scan.
+	hist3 := make([][]int32, len(chunks))
+	parallelDo(len(chunks), func(c int) {
+		h := make([]int32, n)
+		for _, s := range g.inSrc[chunks[c].lo:chunks[c].hi] {
+			h[s]++
+		}
+		hist3[c] = h
+	})
+	histToCursors(hist3, g.outOff, workers)
+	parallelDo(len(chunks), func(c int) {
+		h := hist3[c]
+		for slot := chunks[c].lo; slot < chunks[c].hi; slot++ {
+			s := g.inSrc[slot]
+			p := h[s]
+			h[s] = p + 1
+			g.outDst[p] = slotDst[slot]
+			g.outPos[p] = int64(slot)
+		}
+	})
+	return g, nil
+}
+
+// findOutOfRange locates one edge referencing a vertex >= n, for the
+// Build error message.
+func findOutOfRange(shards []*Shard, n uint32) (src, dst uint32) {
+	for _, s := range shards {
+		for j := range s.src {
+			if s.src[j] >= n || s.dst[j] >= n {
+				return s.src[j], s.dst[j]
+			}
+		}
+	}
+	return 0, 0
+}
+
+// span is a half-open index range.
+type span struct{ lo, hi int }
+
+// chunkBounds splits [0, m) into up to k contiguous non-empty spans.
+func chunkBounds(m, k int) []span {
+	if k < 1 {
+		k = 1
+	}
+	if k > m {
+		k = m
+	}
+	out := make([]span, 0, k)
+	for c := 0; c < k; c++ {
+		lo, hi := c*m/k, (c+1)*m/k
+		if lo < hi {
+			out = append(out, span{lo, hi})
+		}
+	}
+	return out
+}
+
+// parallelDo runs f(0..k-1) across GOMAXPROCS goroutines and waits.
+func parallelDo(k int, f func(i int)) {
+	if k <= 1 {
+		if k == 1 {
+			f(0)
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		for i := 0; i < k; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// sumHistInto writes the per-vertex sum of the histogram rows into deg,
+// parallel over vertex ranges.
+func sumHistInto(deg []int32, hist [][]int32, workers int) {
+	n := len(deg)
+	parts := chunkBounds(n, workers)
+	parallelDo(len(parts), func(c int) {
+		lo, hi := parts[c].lo, parts[c].hi
+		for _, h := range hist {
+			for v := lo; v < hi; v++ {
+				deg[v] += h[v]
+			}
+		}
+	})
+}
+
+// histToCursors converts histogram rows into scatter cursors: row r's
+// cursor for vertex v starts at off[v] plus the counts of all earlier
+// rows for v. Runs parallel over vertex ranges; afterwards hist[r][v]
+// is the first slot row r writes for key v.
+func histToCursors(hist [][]int32, off []int64, workers int) {
+	n := len(off) - 1
+	parts := chunkBounds(n, workers)
+	parallelDo(len(parts), func(c int) {
+		for v := parts[c].lo; v < parts[c].hi; v++ {
+			cur := int32(off[v])
+			for _, h := range hist {
+				count := h[v]
+				h[v] = cur
+				cur += count
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package graph_test
+
+import (
+	"sort"
+	"testing"
+
+	"graphabcd/internal/gen"
+	"graphabcd/internal/graph"
+)
+
+// TestBuilderEquivalence checks the counting-sort builder against the
+// seed comparison-sort builder on the three generator families the
+// benchmarks use. The engine-visible layout (inOff/inSrc/outOff/outDst/
+// outPos) must be byte-identical; weights are compared as multisets
+// within each (dst, src) duplicate run, the only place the legacy
+// unstable sort's order was unspecified.
+func TestBuilderEquivalence(t *testing.T) {
+	graphs := map[string]*graph.Graph{}
+
+	rmat, err := gen.RMAT(gen.RMATConfig{Scale: 10, EdgeFactor: 8, A: 0.57, B: 0.19, C: 0.19, Seed: 11, MaxWeight: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["rmat"] = rmat
+
+	uni, err := gen.Uniform(700, 9000, 5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["uniform"] = uni
+
+	grid, err := gen.Grid(24, 31, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["grid"] = grid
+
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			edges := g.Edges()
+			shuffleEdges(edges, 0xabcd^uint64(len(edges)))
+			n := g.NumVertices()
+			want, err := graph.FromEdgesSort(n, edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := graph.FromEdges(n, edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareLayouts(t, want, got)
+		})
+	}
+}
+
+// shuffleEdges deterministically permutes the slot-ordered edge list so
+// the builders see an adversarially unsorted input.
+func shuffleEdges(edges []graph.Edge, seed uint64) {
+	s := seed
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for i := len(edges) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+}
+
+func compareLayouts(t *testing.T, want, got *graph.Graph) {
+	t.Helper()
+	if want.NumVertices() != got.NumVertices() || want.NumEdges() != got.NumEdges() {
+		t.Fatalf("size: V=%d E=%d, want V=%d E=%d",
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	n, m := want.NumVertices(), int64(want.NumEdges())
+	for v := 0; v <= n; v++ {
+		if want.InOffset(v) != got.InOffset(v) {
+			t.Fatalf("inOff[%d] = %d, want %d", v, got.InOffset(v), want.InOffset(v))
+		}
+		if want.OutOffset(v) != got.OutOffset(v) {
+			t.Fatalf("outOff[%d] = %d, want %d", v, got.OutOffset(v), want.OutOffset(v))
+		}
+	}
+	for i := int64(0); i < m; i++ {
+		if want.InSrc(i) != got.InSrc(i) {
+			t.Fatalf("inSrc[%d] = %d, want %d", i, got.InSrc(i), want.InSrc(i))
+		}
+		if want.OutDst(i) != got.OutDst(i) {
+			t.Fatalf("outDst[%d] = %d, want %d", i, got.OutDst(i), want.OutDst(i))
+		}
+		if want.OutPos(i) != got.OutPos(i) {
+			t.Fatalf("outPos[%d] = %d, want %d", i, got.OutPos(i), want.OutPos(i))
+		}
+	}
+	for v := 0; v < n; v++ {
+		if want.InDegree(uint32(v)) != got.InDegree(uint32(v)) || want.OutDegree(uint32(v)) != got.OutDegree(uint32(v)) {
+			t.Fatalf("degrees of %d differ", v)
+		}
+	}
+	// Weights: within each run of identical (dst, src) slots the legacy
+	// sort's order was arbitrary, so compare sorted runs.
+	for v := 0; v < n; v++ {
+		lo, hi := want.InOffset(v), want.InOffset(v+1)
+		for s := lo; s < hi; {
+			e := s + 1
+			for e < hi && want.InSrc(e) == want.InSrc(s) {
+				e++
+			}
+			a := weightsOf(want, s, e)
+			b := weightsOf(got, s, e)
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("weight multiset of dst=%d src=%d differs: %v vs %v", v, want.InSrc(s), a, b)
+				}
+			}
+			s = e
+		}
+	}
+}
+
+func weightsOf(g *graph.Graph, lo, hi int64) []float64 {
+	out := make([]float64, 0, hi-lo)
+	for s := lo; s < hi; s++ {
+		out = append(out, float64(g.InWeight(s)))
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -37,4 +38,96 @@ func FuzzReadEdgeList(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzSnapshotRoundTrip: any graph the text parser accepts must survive
+// text -> Graph -> snapshot -> Graph with the engine-visible layout
+// (inOff/inSrc/inW/outOff/outDst/outPos) byte-identical, through both
+// the plain and the compressed snapshot encodings.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add("0 1\n1 2 2.5\n# c\n")
+	f.Add("# vertices=10\n0 1 1\n")
+	f.Add("")
+	f.Add("9 9 9\n9 9\n3 1 0.125\n9 3\n")
+	f.Add("0 1 -4\n0 1 3e-9\n0 1 -4\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, enc := range []struct {
+			name  string
+			write func(*bytes.Buffer) error
+		}{
+			{"plain", func(b *bytes.Buffer) error { return WriteSnapshot(b, g) }},
+			{"compressed", func(b *bytes.Buffer) error { return WriteSnapshotCompressed(b, g) }},
+		} {
+			var buf bytes.Buffer
+			if err := enc.write(&buf); err != nil {
+				t.Fatalf("%s write failed: %v", enc.name, err)
+			}
+			got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s read failed: %v", enc.name, err)
+			}
+			assertIdenticalLayout(t, enc.name, g, got)
+		}
+	})
+}
+
+// FuzzReadSnapshot: arbitrary bytes must never panic the snapshot
+// decoder or make it allocate past the input size, and anything it does
+// accept must re-encode to an equivalent graph.
+func FuzzReadSnapshot(f *testing.F) {
+	seed, err := FromEdges(4, []Edge{{0, 1, 1}, {2, 1, 0.5}, {3, 3, 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var plain, comp bytes.Buffer
+	if err := WriteSnapshot(&plain, seed); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteSnapshotCompressed(&comp, seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+	f.Add(comp.Bytes())
+	f.Add([]byte("GABS garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, g); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		g2, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		assertIdenticalLayout(t, "reencode", g, g2)
+	})
+}
+
+// assertIdenticalLayout compares every engine-visible array exactly.
+func assertIdenticalLayout(t *testing.T, label string, want, got *Graph) {
+	t.Helper()
+	if want.n != got.n || want.m != got.m {
+		t.Fatalf("%s: V=%d E=%d, want V=%d E=%d", label, got.n, got.m, want.n, want.m)
+	}
+	for v := 0; v <= want.n; v++ {
+		if want.inOff[v] != got.inOff[v] || want.outOff[v] != got.outOff[v] {
+			t.Fatalf("%s: offsets differ at vertex %d", label, v)
+		}
+	}
+	for i := 0; i < want.m; i++ {
+		// Weights compare as bit patterns so NaN payloads round-trip too.
+		if want.inSrc[i] != got.inSrc[i] ||
+			math.Float32bits(want.inW[i]) != math.Float32bits(got.inW[i]) ||
+			want.outDst[i] != got.outDst[i] || want.outPos[i] != got.outPos[i] {
+			t.Fatalf("%s: edge arrays differ at slot %d", label, i)
+		}
+	}
 }

@@ -11,6 +11,7 @@ package graph
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 )
 
@@ -50,7 +51,40 @@ type Graph struct {
 // FromEdges builds a Graph over vertices [0, n) from an arbitrary edge list.
 // Edges referencing vertices outside [0, n) yield an error. The input slice
 // is not modified. Duplicate edges and self-loops are preserved.
+//
+// Construction is the Builder's parallel counting sort — linear in |E|
+// rather than the O(|E| log |E|) comparison sort of FromEdgesSort, and
+// parallel across GOMAXPROCS. The resulting inOff/inSrc/outOff/outDst/
+// outPos arrays are identical to FromEdgesSort's; only the order of
+// weights among exact duplicate (src, dst) pairs may differ (the legacy
+// sort was unstable there, the counting sort is stable).
 func FromEdges(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for i, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return nil, fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", i, e.Src, e.Dst, n)
+		}
+	}
+	b := NewBuilder(n)
+	chunks := chunkBounds(len(edges), runtime.GOMAXPROCS(0))
+	shards := make([]*Shard, len(chunks))
+	for i := range chunks {
+		shards[i] = b.NewShard()
+	}
+	parallelDo(len(chunks), func(i int) {
+		sh := shards[i]
+		sh.Grow(chunks[i].hi - chunks[i].lo)
+		sh.AddEdges(edges[chunks[i].lo:chunks[i].hi])
+	})
+	return b.Build()
+}
+
+// FromEdgesSort is the original single-threaded sort-based builder,
+// retained as the reference implementation for equivalence tests and the
+// build benchmarks. New code should use FromEdges or a Builder.
+func FromEdgesSort(n int, edges []Edge) (*Graph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", n)
 	}

@@ -2,10 +2,13 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
-	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // WriteEdgeList writes the graph as a plain-text edge list: a header line
@@ -31,60 +34,278 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // in a comment pre-sizes the graph, otherwise the vertex count is
 // 1 + max(vertex id). Each data line is "src dst [weight]"; a missing
 // weight defaults to 1.
+//
+// The input is split into chunks at line boundaries and the chunks are
+// parsed concurrently, each parser feeding its own Builder shard, so both
+// the parse and the layout construction scale with GOMAXPROCS. On a parse
+// error the whole read fails with the error of the smallest line number,
+// as the sequential reader did.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var edges []Edge
-	n := 0
+	return readEdgeList(r, runtime.GOMAXPROCS(0))
+}
+
+// readChunkSize is the target text chunk handed to one parser at a time.
+const readChunkSize = 1 << 20
+
+// chunk is one line-aligned byte range of the input. buf is the pooled
+// backing array, returned to the pool by the parser.
+type chunk struct {
+	data      []byte
+	startLine int // lines fully before this chunk
+	buf       *[]byte
+}
+
+// parseFail records the first error of one parser, with its global line.
+type parseFail struct {
+	line int
+	err  error
+}
+
+func readEdgeList(r io.Reader, workers int) (*Graph, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	b := NewBuilder(-1)
+	var pool sync.Pool
+	pool.New = func() any {
+		buf := make([]byte, readChunkSize)
+		return &buf
+	}
+	chunks := make(chan chunk, workers)
+
+	// Workers parse every dispatched chunk even after a failure elsewhere:
+	// chunks are dispatched in input order, so the minimum error line over
+	// all parsed chunks is exactly the first error the sequential reader
+	// would have hit. The stop flag only keeps the chunker from reading
+	// further input once any error exists.
+	fails := make([]parseFail, workers)
+	hints := make([]int, workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := b.NewShard()
+			for c := range chunks {
+				if fails[w].err == nil {
+					if line, err := parseChunk(c.data, c.startLine, sh, &hints[w]); err != nil {
+						fails[w] = parseFail{line: line, err: err}
+						stop.Store(true)
+					}
+				}
+				pool.Put(c.buf)
+			}
+		}(w)
+	}
+
+	ioErr := chunkLines(r, &pool, chunks, &stop)
+	close(chunks)
+	wg.Wait()
+
+	var first *parseFail
+	for w := range fails {
+		f := &fails[w]
+		if f.err != nil && (first == nil || f.line < first.line) {
+			first = f
+		}
+	}
+	if first != nil {
+		return nil, first.err
+	}
+	if ioErr != nil {
+		return nil, ioErr
+	}
+	for _, h := range hints {
+		b.EnsureVertices(h)
+	}
+	return b.Build()
+}
+
+// chunkLines reads r into pooled buffers, cuts them at the last line
+// boundary, and sends the line-aligned chunks with their starting line
+// numbers. The remainder after the last newline is carried into the next
+// buffer; a chunk with no newline at all grows until one arrives or the
+// input ends. Returns the first read error (io.EOF excluded).
+func chunkLines(r io.Reader, pool *sync.Pool, out chan<- chunk, stop *atomic.Bool) error {
 	line := 0
-	for sc.Scan() {
+	var carry []byte // tail of the previous buffer, not yet line-complete
+	for !stop.Load() {
+		bufp := pool.Get().(*[]byte)
+		buf := *bufp
+		if len(carry) >= len(buf) {
+			buf = make([]byte, 2*len(carry))
+			bufp = &buf
+		}
+		fill := copy(buf, carry)
+		eof := false
+		for !eof {
+			n, err := r.Read(buf[fill:])
+			fill += n
+			if err == io.EOF {
+				eof = true
+			} else if err != nil {
+				pool.Put(bufp)
+				return err
+			}
+			if fill == len(buf) {
+				if cut := bytes.LastIndexByte(buf, '\n'); cut < 0 {
+					// One line larger than the buffer: grow and keep reading.
+					bigger := make([]byte, 2*len(buf))
+					copy(bigger, buf)
+					pool.Put(bufp)
+					buf = bigger
+					bufp = &buf
+					continue
+				}
+				break
+			}
+		}
+		data := buf[:fill]
+		cut := bytes.LastIndexByte(data, '\n') + 1 // 0 if none: all carry
+		if eof {
+			cut = fill
+		}
+		if cut > 0 {
+			carry = append(carry[:0], data[cut:]...)
+			out <- chunk{data: data[:cut], startLine: line, buf: bufp}
+			line += bytes.Count(data[:cut], nl)
+		} else {
+			carry = append(carry[:0], data...)
+			pool.Put(bufp)
+		}
+		if eof {
+			return nil
+		}
+	}
+	return nil // a parse error elsewhere stopped the read
+}
+
+var nl = []byte{'\n'}
+
+// parseChunk parses the line-aligned chunk into sh, returning the global
+// line number and error of the first bad line. hint accumulates the
+// largest "# vertices=N" header value seen.
+func parseChunk(data []byte, startLine int, sh *Shard, hint *int) (int, error) {
+	line := startLine
+	var fields [][]byte
+	for len(data) > 0 {
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
+		var text []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			text, data = data[:i], data[i+1:]
+		} else {
+			text, data = data, nil
+		}
+		text = bytes.TrimSpace(text)
+		if len(text) == 0 {
 			continue
 		}
-		if strings.HasPrefix(text, "#") {
-			if i := strings.Index(text, "vertices="); i >= 0 {
-				rest := text[i+len("vertices="):]
-				if j := strings.IndexAny(rest, " \t"); j >= 0 {
+		if text[0] == '#' {
+			if i := bytes.Index(text, verticesKey); i >= 0 {
+				rest := text[i+len(verticesKey):]
+				if j := bytes.IndexAny(rest, " \t"); j >= 0 {
 					rest = rest[:j]
 				}
-				if v, err := strconv.Atoi(rest); err == nil && v > n {
-					n = v
+				if v, err := strconv.Atoi(string(rest)); err == nil && v > *hint {
+					*hint = v
 				}
 			}
 			continue
 		}
-		fields := strings.Fields(text)
+		fields = appendFields(fields[:0], text)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", line, text)
+			return line, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", line, text)
 		}
-		src, err := strconv.ParseUint(fields[0], 10, 32)
+		src, err := parseU32(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad src: %v", line, err)
+			return line, fmt.Errorf("graph: line %d: bad src: %v", line, err)
 		}
-		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		dst, err := parseU32(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad dst: %v", line, err)
+			return line, fmt.Errorf("graph: line %d: bad dst: %v", line, err)
 		}
 		w := float32(1)
 		if len(fields) >= 3 {
-			w64, err := strconv.ParseFloat(fields[2], 32)
+			w, err = parseF32(fields[2])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
+				return line, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
 			}
-			w = float32(w64)
 		}
-		edges = append(edges, Edge{Src: uint32(src), Dst: uint32(dst), Weight: w})
-		if int(src)+1 > n {
-			n = int(src) + 1
-		}
-		if int(dst)+1 > n {
-			n = int(dst) + 1
+		sh.Add(src, dst, w)
+	}
+	return 0, nil
+}
+
+var verticesKey = []byte("vertices=")
+
+// appendFields splits text into whitespace-separated fields, reusing dst.
+// ASCII-only lines (the format's own output, and any real dataset) split
+// without allocating; lines with high bytes fall back to the
+// unicode-aware bytes.Fields for exact compatibility with the original
+// strings.Fields parser.
+func appendFields(dst [][]byte, text []byte) [][]byte {
+	for _, c := range text {
+		if c >= 0x80 {
+			return append(dst, bytes.Fields(text)...)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	i := 0
+	for i < len(text) {
+		for i < len(text) && asciiSpace(text[i]) {
+			i++
+		}
+		start := i
+		for i < len(text) && !asciiSpace(text[i]) {
+			i++
+		}
+		if start < i {
+			dst = append(dst, text[start:i])
+		}
 	}
-	return FromEdges(n, edges)
+	return dst
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// parseU32 decodes a base-10 uint32. Plain digit runs (every id the
+// format writes) decode without allocating; anything else goes through
+// strconv for byte-identical acceptance and error text.
+func parseU32(f []byte) (uint32, error) {
+	if len(f) > 0 && len(f) <= 9 {
+		v := uint32(0)
+		for _, c := range f {
+			if c < '0' || c > '9' {
+				goto slow
+			}
+			v = v*10 + uint32(c-'0')
+		}
+		return v, nil
+	}
+slow:
+	v, err := strconv.ParseUint(string(f), 10, 32)
+	return uint32(v), err
+}
+
+// parseF32 decodes a float32 weight. Small plain integers (the common
+// unweighted "1" and generator weights) convert exactly without
+// allocating; everything else — fractions, exponents, long digit runs —
+// uses strconv.ParseFloat so rounding matches the sequential parser
+// exactly.
+func parseF32(f []byte) (float32, error) {
+	if len(f) > 0 && len(f) <= 7 {
+		v := uint32(0)
+		for _, c := range f {
+			if c < '0' || c > '9' {
+				goto slow
+			}
+			v = v*10 + uint32(c-'0')
+		}
+		return float32(v), nil
+	}
+slow:
+	v, err := strconv.ParseFloat(string(f), 32)
+	return float32(v), err
 }

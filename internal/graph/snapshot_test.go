@@ -1,0 +1,276 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// snapshotFixture builds a small irregular graph: duplicates, a
+// self-loop, an isolated vertex, non-trivial weights.
+func snapshotFixture(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges(6, []Edge{
+		{0, 1, 0.5}, {1, 2, 2}, {2, 0, 1}, {0, 1, 0.25},
+		{3, 3, -7.5}, {4, 2, float32(math.Pi)}, {1, 4, 1e-9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sameLayout(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.n != b.n || a.m != b.m {
+		t.Fatalf("size mismatch: V=%d/%d E=%d/%d", a.n, b.n, a.m, b.m)
+	}
+	for v := 0; v <= a.n; v++ {
+		if a.inOff[v] != b.inOff[v] || a.outOff[v] != b.outOff[v] {
+			t.Fatalf("offset mismatch at vertex %d", v)
+		}
+	}
+	for i := 0; i < a.m; i++ {
+		if a.inSrc[i] != b.inSrc[i] || a.inW[i] != b.inW[i] {
+			t.Fatalf("CSC slot %d mismatch: (%d,%g) vs (%d,%g)", i, a.inSrc[i], a.inW[i], b.inSrc[i], b.inW[i])
+		}
+		if a.outDst[i] != b.outDst[i] || a.outPos[i] != b.outPos[i] {
+			t.Fatalf("CSR edge %d mismatch: (%d,%d) vs (%d,%d)", i, a.outDst[i], a.outPos[i], b.outDst[i], b.outPos[i])
+		}
+	}
+	for v := 0; v < a.n; v++ {
+		if a.inDeg[v] != b.inDeg[v] || a.outDeg[v] != b.outDeg[v] {
+			t.Fatalf("degree mismatch at vertex %d", v)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := snapshotFixture(t)
+	for _, tc := range []struct {
+		name  string
+		write func(*bytes.Buffer) error
+	}{
+		{"plain", func(b *bytes.Buffer) error { return WriteSnapshot(b, g) }},
+		{"compressed", func(b *bytes.Buffer) error { return WriteSnapshotCompressed(b, g) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameLayout(t, g, got)
+		})
+	}
+}
+
+func TestSnapshotRoundTripEmpty(t *testing.T) {
+	g, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameLayout(t, g, got)
+}
+
+func TestSnapshotCompressedIsSmaller(t *testing.T) {
+	edges := make([]Edge, 0, 4096)
+	rng := uint64(1)
+	for i := 0; i < 4096; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		edges = append(edges, Edge{Src: uint32(rng>>33) % 512, Dst: uint32(rng>>13) % 512, Weight: 1})
+	}
+	g, err := FromEdges(512, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain, comp bytes.Buffer
+	if err := WriteSnapshot(&plain, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshotCompressed(&comp, g); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= plain.Len() {
+		t.Fatalf("compressed %d bytes >= plain %d bytes", comp.Len(), plain.Len())
+	}
+}
+
+func TestSnapshotTruncation(t *testing.T) {
+	g := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail cleanly, never panic or succeed.
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes read successfully", cut, len(full))
+		}
+	}
+}
+
+func TestSnapshotCorruption(t *testing.T) {
+	g := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	t.Run("bad-magic", func(t *testing.T) {
+		b := append([]byte(nil), full...)
+		b[0] = 'X'
+		if _, err := ReadSnapshot(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("want magic error, got %v", err)
+		}
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		b := append([]byte(nil), full...)
+		b[4] = 99
+		if _, err := ReadSnapshot(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("want version error, got %v", err)
+		}
+	})
+	t.Run("payload-bitflip", func(t *testing.T) {
+		// Flip one byte in each section payload region; the CRC (or a
+		// validation check) must reject every one of them.
+		for pos := snapshotHeaderLen; pos < len(full); pos++ {
+			b := append([]byte(nil), full...)
+			b[pos] ^= 0x40
+			if _, err := ReadSnapshot(bytes.NewReader(b)); err == nil {
+				t.Fatalf("bit flip at byte %d read successfully", pos)
+			}
+		}
+	})
+	t.Run("huge-claimed-sizes", func(t *testing.T) {
+		// A header claiming absurd n/m must fail on missing data, not
+		// allocate terabytes.
+		b := append([]byte(nil), full...)
+		b[8], b[9], b[10] = 0xff, 0xff, 0xff
+		if _, err := ReadSnapshot(bytes.NewReader(b)); err == nil {
+			t.Fatal("huge header read successfully")
+		}
+	})
+}
+
+func TestSnapshotEdgeSections(t *testing.T) {
+	g := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	srcOff, wOff := SnapshotEdgeSections(g.NumVertices(), g.NumEdges())
+	for i := 0; i < g.NumEdges(); i++ {
+		src := leU32(full[srcOff+int64(i)*4:])
+		if src != g.inSrc[i] {
+			t.Fatalf("slot %d: pread src %d, want %d", i, src, g.inSrc[i])
+		}
+		w := math.Float32frombits(leU32(full[wOff+int64(i)*4:]))
+		if w != g.inW[i] {
+			t.Fatalf("slot %d: pread weight %g, want %g", i, w, g.inW[i])
+		}
+	}
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func TestLoadSaveFormats(t *testing.T) {
+	g := snapshotFixture(t)
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		file   string
+		format Format
+	}{
+		{"graph.txt", FormatText},
+		{"graph.gabs", FormatSnapshot},
+		{"graph.gabz", FormatSnapshotCompressed},
+	} {
+		t.Run(tc.format.String(), func(t *testing.T) {
+			path := filepath.Join(dir, tc.file)
+			if err := Save(path, g); err != nil {
+				t.Fatal(err)
+			}
+			if got := DetectSaveFormat(path, FormatAuto); got != tc.format {
+				t.Fatalf("DetectSaveFormat = %v, want %v", got, tc.format)
+			}
+			got, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Text re-derives the layout from parsed edges; snapshots
+			// restore it verbatim. Engine-visible arrays match either way.
+			sameLayout(t, g, got)
+		})
+	}
+}
+
+func TestLoadFormatMismatch(t *testing.T) {
+	g := snapshotFixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.gabs")
+	if err := Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	// Forcing the text parser onto a binary snapshot must error.
+	if _, err := LoadFormat(path, FormatText); err == nil {
+		t.Fatal("text parse of a binary snapshot succeeded")
+	}
+	// Auto-detect must still work regardless of the extension.
+	odd := filepath.Join(dir, "graph.bin")
+	if err := SaveFormat(odd, g, FormatSnapshotCompressed); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameLayout(t, g, got)
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	g := snapshotFixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.gabs")
+	if err := Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a different graph; no temp files may linger.
+	g2, err := FromEdges(3, []Edge{{0, 1, 1}, {1, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, g2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameLayout(t, g2, got)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after save, want 1", len(entries))
+	}
+}

@@ -2,9 +2,23 @@
 # Pre-PR gate: formatting, vet, the abcdlint concurrency/hot-path rules,
 # build, and the full test suite under the race detector. Every step must
 # pass; run from anywhere inside the repository.
+#
+#   scripts/check.sh            full gate
+#   scripts/check.sh --smoke    fast subset: build + graph snapshot
+#                               round-trip / Load-Save format tests
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    echo "== go build"
+    go build ./...
+    echo "== snapshot round-trip smoke"
+    go test -count=1 -run 'Snapshot|LoadSaveFormats|BuilderEquivalence' \
+        ./internal/graph ./internal/edgestore
+    echo "Smoke checks passed."
+    exit 0
+fi
 
 echo "== gofmt"
 unformatted=$(gofmt -l .)
