@@ -1,16 +1,28 @@
 // Command abcdlint runs GraphABCD's custom static-analysis suite: the
 // concurrency and hot-path invariants the Go compiler cannot check
-// (atomic-word access discipline, allocation-free inner loops, lock
-// hygiene, dropped errors, goroutine spawn rules). See internal/analysis
-// for the rules and DESIGN.md ("Concurrency invariants") for why each
-// exists.
+// (atomic-word access discipline, allocation-free inner loops — enforced
+// transitively through the call graph, lock hygiene, dropped errors,
+// goroutine spawn and lifetime rules, loop cancellability, publication
+// ordering, decode-bounded allocation). See internal/analysis for the
+// rules and DESIGN.md §7 for why each exists.
 //
 // Usage:
 //
-//	abcdlint [-rules rule1,rule2] [packages]
+//	abcdlint [flags] [packages]
 //
-// Packages default to ./... . Exits 1 when any finding survives
-// suppression (`//abcdlint:ignore rule -- reason` on or above the line).
+// Packages default to ./... . Flags:
+//
+//	-rules rule1,rule2   run a subset ("-rules list" prints the suite)
+//	-list                list available rules and exit
+//	-format text|json|sarif
+//	                     finding output format (default text)
+//	-baseline file       grandfather findings recorded in file: they are
+//	                     reported but do not fail the run
+//	-update-baseline     rewrite the -baseline file from current findings
+//	-ignored             audit every //abcdlint:ignore suppression and exit
+//
+// Exits 0 when no fresh finding survives suppression and the baseline,
+// 1 on fresh findings, 2 on usage or load errors.
 package main
 
 import (
@@ -23,19 +35,33 @@ import (
 )
 
 func main() {
-	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run, or \"list\" (default: all)")
 	list := flag.Bool("list", false, "list available rules and exit")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	baselinePath := flag.String("baseline", "", "baseline file of grandfathered findings")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the -baseline file from current findings")
+	ignored := flag.Bool("ignored", false, "list every //abcdlint:ignore suppression and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: abcdlint [-rules rule1,rule2] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: abcdlint [-rules rule1,rule2] [-format text|json|sarif] [-baseline file [-update-baseline]] [-ignored] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	if *list {
+	if *list || *rules == "list" {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "abcdlint: unknown format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintf(os.Stderr, "abcdlint: -update-baseline requires -baseline\n")
+		os.Exit(2)
 	}
 
 	analyzers := analysis.All()
@@ -60,16 +86,64 @@ func main() {
 		fmt.Fprintf(os.Stderr, "abcdlint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, fset, err := analysis.Run(cwd, patterns, analyzers, analysis.DefaultConfig())
+	res, err := analysis.RunResult(cwd, patterns, analyzers, analysis.DefaultConfig())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "abcdlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(analysis.FormatDiagnostic(fset, cwd, d))
+	rep := analysis.BuildReport(res, cwd)
+
+	if *ignored {
+		for _, s := range rep.Suppressions {
+			fmt.Printf("%s:%d: [%s] %s\n", s.File, s.Line, strings.Join(s.Rules, ","), s.Reason)
+		}
+		fmt.Fprintf(os.Stderr, "abcdlint: %d suppression(s)\n", len(rep.Suppressions))
+		return
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "abcdlint: %d finding(s)\n", len(diags))
+
+	fresh := len(rep.Findings)
+	if *baselinePath != "" {
+		if *updateBaseline {
+			if err := analysis.BaselineFromReport(rep).Write(*baselinePath); err != nil {
+				fmt.Fprintf(os.Stderr, "abcdlint: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "abcdlint: baseline %s updated with %d finding(s)\n", *baselinePath, len(rep.Findings))
+			return
+		}
+		base, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abcdlint: %v\n", err)
+			os.Exit(2)
+		}
+		fresh = base.Apply(rep)
+	}
+
+	switch *format {
+	case "json":
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "abcdlint: %v\n", err)
+			os.Exit(2)
+		}
+	case "sarif":
+		if err := rep.WriteSARIF(os.Stdout, analyzers); err != nil {
+			fmt.Fprintf(os.Stderr, "abcdlint: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, f := range rep.Findings {
+			suffix := ""
+			if f.Grandfathered {
+				suffix = " (baseline)"
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s%s\n", f.File, f.Line, f.Col, f.Rule, f.Message, suffix)
+		}
+	}
+	if fresh > 0 {
+		fmt.Fprintf(os.Stderr, "abcdlint: %d fresh finding(s)\n", fresh)
 		os.Exit(1)
+	}
+	if n := len(rep.Findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "abcdlint: %d grandfathered finding(s), none fresh\n", n)
 	}
 }

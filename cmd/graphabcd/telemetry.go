@@ -67,8 +67,9 @@ func startTelemetry(o telemetryOpts) (*telemetrySession, error) {
 		}
 		s.listener = ln
 		fmt.Printf("metrics: http://%s/debug/vars (pprof at /debug/pprof/)\n", ln.Addr())
+		//abcdlint:ignore goroutine -- bounded by the listener: http.Serve returns when finish() closes ln at session shutdown
 		go func() {
-			_ = http.Serve(ln, nil) // closed by session shutdown
+			_ = http.Serve(ln, nil)
 		}()
 	}
 

@@ -401,7 +401,7 @@ func (w *CPUWorker) RunGather(edges, bytes int64) float64 {
 }
 
 func (w *CPUWorker) advance(durNs float64) float64 {
-	w.mu.Lock()
+	w.mu.Lock() //abcdlint:ignore hotpath -- simulator clock: advance serializes simulated-time accounting in -sim runs, not the measured data path
 	defer w.mu.Unlock()
 	end := w.localNs.load() + durNs
 	w.localNs.store(end)

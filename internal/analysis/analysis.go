@@ -32,13 +32,26 @@ const (
 	lockSafeName   = "locksafe"
 	errCheckName   = "errcheck"
 	goroutineName  = "goroutine"
+	ctxLoopName    = "ctxloop"
+	publishName    = "publish"
+	boundAllocName = "boundalloc"
 )
 
-// Diagnostic is one finding of one analyzer.
+// ChainHop is one step of an interprocedural finding's call chain: the
+// function entered and the call site that entered it.
+type ChainHop struct {
+	Func string    // package-local function or method name
+	Pos  token.Pos // call site in the caller, NoPos for the chain root
+}
+
+// Diagnostic is one finding of one analyzer. Chain, when non-nil, is the
+// call path from an analysis root (e.g. an //abcd:hotpath function) to the
+// function containing Pos, outermost first.
 type Diagnostic struct {
 	Pos     token.Pos
 	Rule    string
 	Message string
+	Chain   []ChainHop
 }
 
 // Package is one loaded, type-checked package.
@@ -66,6 +79,18 @@ type ModulePass struct {
 	Pkgs   []*Package
 	Config *Config
 	Report func(Diagnostic)
+
+	// SuppressedAt reports whether a suppression for rule covers pos. The
+	// driver wires it before analyzers run so interprocedural analyses can
+	// honor boundary suppressions: an //abcdlint:ignore on a call site stops
+	// contract propagation through that edge, not just the one finding. Nil
+	// means no suppression information (treat nothing as suppressed).
+	SuppressedAt func(pos token.Pos, rule string) bool
+}
+
+// suppressedAt is the nil-safe accessor for SuppressedAt.
+func (p *ModulePass) suppressedAt(pos token.Pos, rule string) bool {
+	return p.SuppressedAt != nil && p.SuppressedAt(pos, rule)
 }
 
 // Analyzer is one named rule. Exactly one of Run (per package) or
@@ -79,7 +104,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomicWord, HotAlloc, HotPath, LockSafe, ErrCheck, GoroutineHygiene}
+	return []*Analyzer{AtomicWord, HotAlloc, HotPath, LockSafe, ErrCheck, GoroutineHygiene, CtxLoop, Publish, BoundAlloc}
 }
 
 // ByName returns the analyzer with the given rule name, or nil.
@@ -105,6 +130,21 @@ type Config struct {
 	// ErrcheckIgnoreDeferredClose makes errcheck accept `defer f.Close()`
 	// with a dropped error, the ubiquitous cleanup idiom.
 	ErrcheckIgnoreDeferredClose bool
+
+	// BoundAllocPkgs restricts boundalloc to packages whose import path
+	// contains one of these substrings — the decoder packages that consume
+	// untrusted on-disk bytes.
+	BoundAllocPkgs []string
+
+	// BoundAllocClamps names the functions boundalloc recognizes as size
+	// clamps: an allocation size expression that flows through one of these
+	// calls is considered bounded.
+	BoundAllocClamps []string
+
+	// GoroutineOwnedPkgs restricts the goroutine lifetime rule to packages
+	// whose import path contains one of these substrings — the long-lived
+	// daemon-ish layers where a leaked goroutine outlives the run.
+	GoroutineOwnedPkgs []string
 }
 
 // DefaultConfig returns the configuration used by cmd/abcdlint: the hot
@@ -123,5 +163,8 @@ func DefaultConfig() *Config {
 			"internal/accel:RunGather",
 		},
 		ErrcheckIgnoreDeferredClose: true,
+		BoundAllocPkgs:              []string{"internal/edgestore", "internal/graph"},
+		BoundAllocClamps:            []string{"presizeCap", "growEarned"},
+		GoroutineOwnedPkgs:          []string{"/cmd/", "internal/telemetry"},
 	}
 }

@@ -31,6 +31,20 @@ var fixtureCases = []struct {
 	{name: "errcheck", rule: "errcheck", dirs: []string{"testdata/src/errcheck"}},
 	{name: "goroutine", rule: "goroutine", dirs: []string{"testdata/src/goroutine"}},
 	{name: "suppress", rule: "errcheck", dirs: []string{"testdata/src/suppress"}},
+	{name: "ctxloop", rule: "ctxloop", dirs: []string{"testdata/src/ctxloop"}},
+	{name: "publish", rule: "publish", dirs: []string{"testdata/src/publish"}},
+	{
+		name: "boundalloc",
+		rule: "boundalloc",
+		cfg:  &Config{BoundAllocPkgs: []string{"src/boundalloc"}, BoundAllocClamps: []string{"presizeCap", "growEarned"}},
+		dirs: []string{"testdata/src/boundalloc"},
+	},
+	{
+		name: "goroutinelife",
+		rule: "goroutine",
+		cfg:  &Config{GoroutineOwnedPkgs: []string{"src/goroutinelife"}},
+		dirs: []string{"testdata/src/goroutinelife"},
+	},
 }
 
 // runFixture loads the named fixture packages and applies one analyzer,
@@ -129,7 +143,10 @@ func TestSuppressionParsing(t *testing.T) {
 		{"// just a comment -- with dashes", nil, false},
 	}
 	for _, c := range cases {
-		rules, ok := parseSuppression(c.text)
+		rules, reason, ok := parseSuppression(c.text)
+		if ok && reason == "" {
+			t.Errorf("parseSuppression(%q) accepted an empty reason", c.text)
+		}
 		if ok != c.ok {
 			t.Errorf("parseSuppression(%q) ok = %v, want %v", c.text, ok, c.ok)
 			continue

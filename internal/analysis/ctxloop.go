@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxLoop enforces cancellability of blocking loops: in a function that
+// takes a context.Context, any for/range loop that blocks — a channel
+// receive or send, a select, a time.Sleep, or a call into package net —
+// must be cancellable through that context, by selecting on ctx.Done()
+// (directly or via a channel variable assigned from it) or checking
+// ctx.Err() per iteration. A function that accepts a context promises its
+// caller cancellation works; a retry or backoff loop that only polls a
+// stop flag breaks that promise exactly when the caller needs it — the
+// ROADMAP's real TCP transport will turn every such loop into a hung
+// connection that outlives its request.
+//
+// Loops inside nested function literals are exempt unless the literal
+// itself declares a context parameter: a spawned worker's loop is commonly
+// cancelled by other means (a stop channel owned by the spawner), which is
+// the goroutine analyzer's department.
+var CtxLoop = &Analyzer{
+	Name: ctxLoopName,
+	Doc:  "flags blocking loops in context-taking functions that cannot be cancelled via ctx.Done()/ctx.Err()",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && funcTypeTakesContext(info, n.Type) {
+					checkCtxLoops(pass, info, n.Body)
+					return false
+				}
+			case *ast.FuncLit:
+				if funcTypeTakesContext(info, n.Type) {
+					checkCtxLoops(pass, info, n.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// funcTypeTakesContext reports whether ft declares a context.Context
+// parameter.
+func funcTypeTakesContext(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxLoops scans one context-taking function body. It first collects
+// the channel variables assigned from ctx.Done() (the `done := ctx.Done()`
+// idiom), then flags every blocking loop that neither touches one of them
+// nor calls ctx.Done()/ctx.Err() itself.
+func checkCtxLoops(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	doneChans := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isCtxMethodCall(info, rhs, "Done") {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					doneChans[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					doneChans[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			// Nested literals get their own judgement in runCtxLoop (only
+			// if they take a context themselves).
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			var loopBody *ast.BlockStmt
+			if fs, ok := n.(*ast.ForStmt); ok {
+				loopBody = fs.Body
+			} else {
+				loopBody = n.(*ast.RangeStmt).Body
+			}
+			if what := loopBlocks(info, n); what != "" && !loopCancellable(info, n, doneChans) {
+				pass.Report(Diagnostic{Pos: n.Pos(), Rule: ctxLoopName,
+					Message: fmt.Sprintf("loop blocks (%s) but never checks ctx.Done() or ctx.Err(); a cancelled context cannot stop it — add a ctx.Done() select case or an Err() check per iteration", what)})
+			}
+			// Nested loops are judged on their own.
+			walk(loopBody)
+			return
+		}
+		children(n, walk)
+	}
+	walk(body)
+}
+
+// loopBlocks classifies the first blocking operation lexically inside the
+// loop (excluding nested function literals), or returns "".
+func loopBlocks(info *types.Info, loop ast.Node) string {
+	what := ""
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				what = "channel receive"
+			}
+		case *ast.SendStmt:
+			what = "channel send"
+		case *ast.SelectStmt:
+			what = "select"
+		case *ast.CallExpr:
+			if fn, ok := calleeFunc(info, n); ok && fn.Pkg() != nil {
+				switch {
+				case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+					what = "time.Sleep"
+				case fn.Pkg().Path() == "net" || isPathPrefix(fn.Pkg().Path(), "net/"):
+					what = "net." + fn.Name()
+				}
+			}
+		}
+		return what == ""
+	})
+	return what
+}
+
+// loopCancellable reports whether the loop references the context: a
+// ctx.Done()/ctx.Err() call, or any use of a channel variable known to
+// hold ctx.Done().
+func loopCancellable(info *types.Info, loop ast.Node, doneChans map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isCtxMethodCall(info, n, "Done") || isCtxMethodCall(info, n, "Err") {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && doneChans[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCtxMethodCall reports whether e is a call of the named method on a
+// context.Context value.
+func isCtxMethodCall(info *types.Info, e ast.Expr, method string) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	return isContextType(info.TypeOf(sel.X))
+}
+
+// calleeFunc resolves a call's static callee function object.
+func calleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, ok := info.Uses[fun].(*types.Func)
+		return fn, ok
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}
+
+// isPathPrefix reports whether path starts with prefix (a "pkg/" string).
+func isPathPrefix(path, prefix string) bool {
+	return len(path) >= len(prefix) && path[:len(prefix)] == prefix
+}

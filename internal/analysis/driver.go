@@ -14,47 +14,85 @@ import (
 // diagnostics sorted by position. The returned FileSet resolves their
 // positions.
 func Run(dir string, patterns []string, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, *token.FileSet, error) {
+	res, err := RunResult(dir, patterns, analyzers, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Diags, res.Fset, nil
+}
+
+// Result is a full analysis outcome: the surviving findings plus the
+// suppression inventory, for the machine-readable reports and the
+// -ignored audit.
+type Result struct {
+	Fset  *token.FileSet
+	Diags []Diagnostic
+	// Suppressions is every well-formed //abcdlint:ignore comment in the
+	// scanned packages, in position order.
+	Suppressions []Suppression
+}
+
+// Suppression is one parsed //abcdlint:ignore comment.
+type Suppression struct {
+	Pos    token.Pos
+	Rules  []string
+	Reason string
+}
+
+// RunResult is Run with the suppression inventory included.
+func RunResult(dir string, patterns []string, analyzers []*Analyzer, cfg *Config) (*Result, error) {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
 	loader, err := NewLoader(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	dirs, err := loader.ExpandPatterns(dir, patterns)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var pkgs []*Package
 	for _, d := range dirs {
 		pkg, err := loader.LoadDir(d)
 		if err != nil {
-			return nil, nil, fmt.Errorf("loading %s: %w", d, err)
+			return nil, fmt.Errorf("loading %s: %w", d, err)
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags := Analyze(loader.Fset, pkgs, analyzers, cfg)
-	return diags, loader.Fset, nil
+	diags, sups := analyze(loader.Fset, pkgs, analyzers, cfg)
+	return &Result{Fset: loader.Fset, Diags: diags, Suppressions: sups}, nil
 }
 
 // Analyze applies analyzers to already-loaded packages, returning the
 // unsuppressed diagnostics in position order.
 func Analyze(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	diags, _ := analyze(fset, pkgs, analyzers, cfg)
+	return diags
+}
+
+// analyze is the shared core: collect suppressions first (interprocedural
+// analyzers honor them as propagation boundaries), run the analyzers,
+// filter, sort.
+func analyze(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, []Suppression) {
+	sup, supList := collectSuppressions(fset, pkgs)
+	suppressedAt := func(pos token.Pos, rule string) bool {
+		return sup.suppressedAt(fset, pos, rule)
+	}
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
 	for _, a := range analyzers {
 		if a.RunModule != nil {
-			a.RunModule(&ModulePass{Fset: fset, Pkgs: pkgs, Config: cfg, Report: report})
+			a.RunModule(&ModulePass{Fset: fset, Pkgs: pkgs, Config: cfg, Report: report, SuppressedAt: suppressedAt})
 			continue
 		}
 		for _, pkg := range pkgs {
 			a.Run(&Pass{Fset: fset, Pkg: pkg, Config: cfg, Report: report})
 		}
 	}
-	sup := collectSuppressions(fset, pkgs)
 	kept := diags[:0]
 	for _, d := range diags {
-		if !sup.suppressed(fset, d) {
+		if !sup.suppressedAt(fset, d.Pos, d.Rule) {
 			kept = append(kept, d)
 		}
 	}
@@ -71,7 +109,8 @@ func Analyze(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg *C
 		}
 		return kept[i].Rule < kept[j].Rule
 	})
-	return kept
+	sort.Slice(supList, func(i, j int) bool { return supList[i].Pos < supList[j].Pos })
+	return kept, supList
 }
 
 // suppressions maps file -> line -> rules suppressed on that line.
@@ -81,16 +120,18 @@ type suppressions map[string]map[int][]string
 // "//abcdlint:ignore rules -- reason" comment. A malformed suppression
 // (missing rule list or missing reason) is ignored, so the finding it was
 // meant to silence still surfaces.
-func collectSuppressions(fset *token.FileSet, pkgs []*Package) suppressions {
+func collectSuppressions(fset *token.FileSet, pkgs []*Package) (suppressions, []Suppression) {
 	sup := make(suppressions)
+	var list []Suppression
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					rules, ok := parseSuppression(c.Text)
+					rules, reason, ok := parseSuppression(c.Text)
 					if !ok {
 						continue
 					}
+					list = append(list, Suppression{Pos: c.Pos(), Rules: rules, Reason: reason})
 					pos := fset.Position(c.Pos())
 					byLine := sup[pos.Filename]
 					if byLine == nil {
@@ -102,21 +143,22 @@ func collectSuppressions(fset *token.FileSet, pkgs []*Package) suppressions {
 			}
 		}
 	}
-	return sup
+	return sup, list
 }
 
-// parseSuppression extracts the rule list from one comment, requiring the
-// "-- reason" tail.
-func parseSuppression(text string) ([]string, bool) {
+// parseSuppression extracts the rule list and reason from one comment,
+// requiring the "-- reason" tail.
+func parseSuppression(text string) ([]string, string, bool) {
 	text = strings.TrimPrefix(text, "//")
 	text = strings.TrimSpace(text)
 	rest, ok := strings.CutPrefix(text, "abcdlint:ignore")
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
 	ruleParts, reason, ok := strings.Cut(rest, "--")
-	if !ok || strings.TrimSpace(reason) == "" {
-		return nil, false
+	reason = strings.TrimSpace(reason)
+	if !ok || reason == "" {
+		return nil, "", false
 	}
 	var rules []string
 	for _, r := range strings.Split(ruleParts, ",") {
@@ -124,20 +166,20 @@ func parseSuppression(text string) ([]string, bool) {
 			rules = append(rules, r)
 		}
 	}
-	return rules, len(rules) > 0
+	return rules, reason, len(rules) > 0
 }
 
-// suppressed reports whether d is covered by a suppression on its line or
-// the line directly above.
-func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
-	pos := fset.Position(d.Pos)
-	byLine := s[pos.Filename]
+// suppressedAt reports whether a suppression for rule covers pos: one on
+// the same line or the line directly above.
+func (s suppressions) suppressedAt(fset *token.FileSet, pos token.Pos, rule string) bool {
+	p := fset.Position(pos)
+	byLine := s[p.Filename]
 	if byLine == nil {
 		return false
 	}
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, rule := range byLine[line] {
-			if rule == d.Rule || rule == "all" {
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, r := range byLine[line] {
+			if r == rule || r == "all" {
 				return true
 			}
 		}
@@ -149,13 +191,17 @@ func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
 // with the file path relative to base when possible.
 func FormatDiagnostic(fset *token.FileSet, base string, d Diagnostic) string {
 	pos := fset.Position(d.Pos)
-	name := pos.Filename
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", relPath(base, pos.Filename), pos.Line, pos.Column, d.Rule, d.Message)
+}
+
+// relPath renders name relative to base when it is inside base.
+func relPath(base, name string) string {
 	if base != "" {
 		if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
 			name = rel
 		}
 	}
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", filepath.ToSlash(name), pos.Line, pos.Column, d.Rule, d.Message)
+	return filepath.ToSlash(name)
 }
 
 // ---- shared AST helpers used by several analyzers ----

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -19,15 +20,38 @@ import (
 //     engine's worker spawns do. Go >= 1.22 gives each iteration a fresh
 //     variable, but the rule keeps the hot spawn sites unambiguous and
 //     safe under older toolchains and manual backports.
+//
+// In the long-lived layers (Config.GoroutineOwnedPkgs: cmd/ and
+// internal/telemetry) a third rule applies: every spawned goroutine's
+// lifetime must be visibly tied to a done/stop channel, a
+// sync.WaitGroup, or a context — the tracer-flusher pattern (trace.go's
+// flushLoop selecting on t.stop). A goroutine with none of those outlives
+// shutdown silently; the check accepts the bound one same-package call
+// level deep, so `go s.progressLoop()` is judged by progressLoop's body.
 var GoroutineHygiene = &Analyzer{
 	Name: goroutineName,
-	Doc:  "flags WaitGroup.Add inside spawned goroutines and loop-variable capture by goroutine closures",
+	Doc:  "flags WaitGroup.Add inside spawned goroutines, loop-variable capture, and unbounded goroutine lifetimes in daemon-ish packages",
 	Run:  runGoroutineHygiene,
 }
 
 func runGoroutineHygiene(pass *Pass) {
 	info := pass.Pkg.Info
+	checkLifetime := pkgMatches(pass.Pkg.ImportPath, pass.Config.GoroutineOwnedPkgs)
+	var decls map[*types.Func]*ast.FuncDecl
+	if checkLifetime {
+		decls = packageFuncDecls(pass.Pkg)
+	}
 	for _, f := range pass.Pkg.Files {
+		if checkLifetime {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoroutineLifetime(pass, info, decls, g)
+				return true
+			})
+		}
 		// Rule 1: wg.Add inside the body launched by `go`.
 		ast.Inspect(f, func(n ast.Node) bool {
 			g, ok := n.(*ast.GoStmt)
@@ -139,4 +163,115 @@ func checkLoopCapture(pass *Pass, info *types.Info, f *ast.File) {
 		children(n, walk)
 	}
 	walk(f)
+}
+
+// packageFuncDecls indexes the package's function declarations by object,
+// so a `go s.method()` spawn can be judged by the method's body.
+func packageFuncDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkGoroutineLifetime flags a `go` statement whose spawned body shows
+// no lifetime bound: no receive/select/channel-range (a done or stop
+// channel), no WaitGroup.Done, no context use. The spawned body is the
+// function literal, or — for `go f()` / `go s.m()` — the same-package
+// declaration's body; either is also accepted if a function it calls
+// (same package, one level) carries the bound.
+func checkGoroutineLifetime(pass *Pass, info *types.Info, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) {
+	body := spawnedBody(info, decls, g.Call)
+	if body == nil {
+		// The callee is outside the package (e.g. go http.Serve(...)):
+		// nothing visible bounds it.
+		pass.Report(goroutineLifetimeDiag(pass, g))
+		return
+	}
+	if bodyHasLifetimeBound(info, body) {
+		return
+	}
+	// One level of same-package calls: the bound may live in a helper.
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := calleeFunc(info, call); ok {
+			if fd, ok := decls[fn]; ok && bodyHasLifetimeBound(info, fd.Body) {
+				found = true
+			}
+		}
+		return !found
+	})
+	if !found {
+		pass.Report(goroutineLifetimeDiag(pass, g))
+	}
+}
+
+func goroutineLifetimeDiag(pass *Pass, g *ast.GoStmt) Diagnostic {
+	return Diagnostic{Pos: g.Pos(), Rule: goroutineName,
+		Message: "goroutine lifetime is not tied to a done channel, WaitGroup, or context; shutdown can leak it — select on a stop channel or ctx.Done(), or register it with a WaitGroup"}
+}
+
+// spawnedBody resolves the body the `go` statement runs: a literal's body,
+// or the same-package declaration of the called function/method.
+func spawnedBody(info *types.Info, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn, ok := calleeFunc(info, call); ok {
+		if fd, ok := decls[fn.Origin()]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// bodyHasLifetimeBound reports whether body visibly ties the goroutine's
+// lifetime to a shutdown signal: a channel receive, select, or
+// channel-range (done/stop channels), a WaitGroup.Done, or any use of a
+// context.Context value.
+func bodyHasLifetimeBound(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if _, name := mutexCall(info, n); name == "Done" {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }

@@ -11,13 +11,13 @@ import (
 // hidden allocation. GraphABCD's throughput story (Sec. IV-A1: the GATHER
 // pipeline sustains one edge per cycle) survives in software only if the
 // hot loops are allocation-free: a make/append/fmt call per edge turns the
-// streaming loops into GC pressure. The analyzer seeds a call-graph
-// reachability walk at the configured hot roots (Config.HotRoots); inside
-// a root it flags allocation sites lexically inside loops, and in any
-// function reachable from such a loop it flags allocation sites anywhere.
-// Calls through interfaces are resolved by name+arity over the scanned
-// packages (class-hierarchy style), which over-approximates — suppress
-// deliberate amortized allocations with a reason.
+// streaming loops into GC pressure. The analyzer seeds a reachability walk
+// over the shared call graph at the configured hot roots (Config.HotRoots);
+// inside a root it flags allocation sites lexically inside loops, and in
+// any function reachable from such a loop it flags allocation sites
+// anywhere. Calls through interfaces fan out by name+arity (see
+// callgraph.go), which over-approximates — suppress deliberate amortized
+// allocations with a reason.
 //
 // Flagged: make, new, append, any call into package fmt, and the
 // word.Array Load/Store/Fill convenience methods, whose documentation
@@ -28,81 +28,47 @@ var HotAlloc = &Analyzer{
 	RunModule: runHotAlloc,
 }
 
-// haFunc is one declared function in the scanned module.
-type haFunc struct {
-	obj    *types.Func
-	decl   *ast.FuncDecl
-	pkg    *Package
-	isRoot bool
-	// callsInLoop / callsOutside hold resolved callee objects, split by
-	// whether the call site sits inside a for/range statement.
-	callsInLoop  []*types.Func
-	callsOutside []*types.Func
-}
-
 func runHotAlloc(pass *ModulePass) {
-	funcs := make(map[*types.Func]*haFunc)
-	methodsByName := make(map[string][]*types.Func) // concrete methods, for interface-call resolution
+	graph := buildCallGraph(pass.Pkgs)
 
-	// Pass 1: index every declared function and concrete method.
-	for _, pkg := range pass.Pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				hf := &haFunc{obj: obj, decl: fd, pkg: pkg, isRoot: isHotRoot(pass.Config, pkg, fd)}
-				funcs[obj] = hf
-				if fd.Recv != nil {
-					methodsByName[fd.Name.Name] = append(methodsByName[fd.Name.Name], obj)
-				}
-			}
-		}
-	}
-
-	// Pass 2: record call edges with loop context.
-	for _, hf := range funcs {
-		collectCalls(hf, methodsByName)
-	}
-
-	// Pass 3: reachability. From a root only loop-resident calls
-	// propagate; from anything reached, every call propagates.
+	// Reachability: from a root only loop-resident calls propagate; from
+	// anything reached, every call propagates.
 	reached := make(map[*types.Func]bool)
 	var queue []*types.Func
-	enqueue := func(objs []*types.Func) {
-		for _, o := range objs {
-			if !reached[o] {
-				reached[o] = true
-				queue = append(queue, o)
-			}
+	enqueue := func(obj *types.Func) {
+		if !reached[obj] {
+			reached[obj] = true
+			queue = append(queue, obj)
 		}
 	}
-	for _, hf := range funcs {
-		if hf.isRoot {
-			enqueue(hf.callsInLoop)
+	roots := make(map[*types.Func]bool)
+	for _, n := range graph.funcs {
+		if isHotRoot(pass.Config, n.pkg, n.decl) {
+			roots[n.obj] = true
+			for _, e := range n.edges {
+				if e.inLoop {
+					enqueue(e.callee)
+				}
+			}
 		}
 	}
 	for len(queue) > 0 {
 		obj := queue[0]
 		queue = queue[1:]
-		if hf, ok := funcs[obj]; ok {
-			enqueue(hf.callsInLoop)
-			enqueue(hf.callsOutside)
+		if n, ok := graph.funcs[obj]; ok {
+			for _, e := range n.edges {
+				enqueue(e.callee)
+			}
 		}
 	}
 
-	// Pass 4: flag allocation sites. Roots: loops only. Reached: anywhere.
-	for _, hf := range funcs {
+	// Flag allocation sites. Roots: loops only. Reached: anywhere.
+	for _, n := range graph.funcs {
 		switch {
-		case hf.isRoot:
-			flagAllocs(pass, hf, true)
-		case reached[hf.obj]:
-			flagAllocs(pass, hf, false)
+		case roots[n.obj]:
+			flagAllocs(pass, n, true)
+		case reached[n.obj]:
+			flagAllocs(pass, n, false)
 		}
 	}
 }
@@ -122,47 +88,6 @@ func isHotRoot(cfg *Config, pkg *Package, fd *ast.FuncDecl) bool {
 	return false
 }
 
-// collectCalls walks one function body recording resolved call edges and
-// whether each call site is inside a loop. Function literals inherit the
-// enclosing function's loop context.
-func collectCalls(hf *haFunc, methodsByName map[string][]*types.Func) {
-	info := hf.pkg.Info
-	var walk func(n ast.Node, inLoop bool)
-	walk = func(n ast.Node, inLoop bool) {
-		switch n := n.(type) {
-		case nil:
-			return
-		case *ast.ForStmt:
-			if n.Init != nil {
-				walk(n.Init, inLoop)
-			}
-			if n.Cond != nil {
-				walk(n.Cond, inLoop)
-			}
-			if n.Post != nil {
-				walk(n.Post, inLoop)
-			}
-			walk(n.Body, true)
-			return
-		case *ast.RangeStmt:
-			walk(n.X, inLoop)
-			walk(n.Body, true)
-			return
-		case *ast.CallExpr:
-			for _, callee := range resolveCallees(info, n, methodsByName) {
-				if inLoop {
-					hf.callsInLoop = append(hf.callsInLoop, callee)
-				} else {
-					hf.callsOutside = append(hf.callsOutside, callee)
-				}
-			}
-		}
-		// Generic descent.
-		children(n, func(c ast.Node) { walk(c, inLoop) })
-	}
-	walk(hf.decl.Body, false)
-}
-
 // children invokes fn on the direct children of n.
 func children(n ast.Node, fn func(ast.Node)) {
 	first := true
@@ -178,51 +103,10 @@ func children(n ast.Node, fn func(ast.Node)) {
 	})
 }
 
-// resolveCallees maps a call expression to the function objects it may
-// invoke: the static callee for direct and method calls, or — for calls
-// through an interface — every scanned concrete method with the same name
-// and arity.
-func resolveCallees(info *types.Info, call *ast.CallExpr, methodsByName map[string][]*types.Func) []*types.Func {
-	var fn *types.Func
-	switch fun := unparen(call.Fun).(type) {
-	case *ast.Ident:
-		fn, _ = info.Uses[fun].(*types.Func)
-	case *ast.SelectorExpr:
-		fn, _ = info.Uses[fun.Sel].(*types.Func)
-	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
-		if id, ok := unparen(fun.X).(*ast.Ident); ok {
-			fn, _ = info.Uses[id].(*types.Func)
-		}
-	}
-	if fn == nil {
-		return nil
-	}
-	fn = fn.Origin()
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok {
-		return nil
-	}
-	if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
-		// Interface dispatch: fan out by name and arity. Type-parameter
-		// substitution preserves arity, so this stays sound for generic
-		// interfaces like bcd.Program[V, M], where types.Implements cannot
-		// relate a concrete program to the parameterized interface.
-		var out []*types.Func
-		for _, m := range methodsByName[fn.Name()] {
-			msig := m.Type().(*types.Signature)
-			if msig.Params().Len() == sig.Params().Len() && msig.Recv() != nil && !types.IsInterface(msig.Recv().Type()) {
-				out = append(out, m)
-			}
-		}
-		return out
-	}
-	return []*types.Func{fn}
-}
-
-// flagAllocs reports allocation sites in hf's body. For root functions
+// flagAllocs reports allocation sites in node's body. For root functions
 // only sites inside loops are flagged; otherwise the whole body is hot.
-func flagAllocs(pass *ModulePass, hf *haFunc, loopsOnly bool) {
-	info := hf.pkg.Info
+func flagAllocs(pass *ModulePass, node *cgNode, loopsOnly bool) {
+	info := node.pkg.Info
 	var walk func(n ast.Node, inLoop bool)
 	walk = func(n ast.Node, inLoop bool) {
 		switch n := n.(type) {
@@ -248,13 +132,13 @@ func flagAllocs(pass *ModulePass, hf *haFunc, loopsOnly bool) {
 			if !loopsOnly || inLoop {
 				if msg := allocMessage(info, n); msg != "" {
 					pass.Report(Diagnostic{Pos: n.Pos(), Rule: hotAllocName,
-						Message: fmt.Sprintf("%s in hot path %s; %s", msg, hf.obj.Name(), allocAdvice(msg))})
+						Message: fmt.Sprintf("%s in hot path %s; %s", msg, node.obj.Name(), allocAdvice(msg))})
 				}
 			}
 		}
 		children(n, func(c ast.Node) { walk(c, inLoop) })
 	}
-	walk(hf.decl.Body, false)
+	walk(node.decl.Body, false)
 }
 
 // allocMessage classifies a call as an allocation site, returning a short

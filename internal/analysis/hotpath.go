@@ -3,41 +3,88 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
 // HotPath enforces the `//abcd:hotpath` annotation: a function so marked
 // declares itself part of the engine's per-block fast path (the
 // GATHER-APPLY and SCATTER chains and the telemetry write paths that ride
-// on them), and its body must neither allocate nor touch a mutex. Unlike
-// hotalloc — which discovers hot code by call-graph reachability from
-// configured roots — hotpath is a lexical contract on the annotated
-// function itself: the annotation is documentation the analyzer keeps
-// honest. Allocation sites use the same classification as hotalloc
+// on them), and the contract — no allocation, no mutex — holds not just
+// for its own body but for everything it calls. The analyzer walks the
+// shared call graph from every annotated function and flags violating
+// sites in every reachable callee, reporting the call chain that makes the
+// site hot. Allocation sites use the same classification as hotalloc
 // (make/new/append, fmt, word.Array's allocating conveniences); lock use
 // flags any sync.Mutex / sync.RWMutex method call, because the hot path's
 // concurrency discipline is atomics and single-writer shards only
-// (DESIGN.md §7, §9). Deliberate amortized allocations are suppressed
-// with a reason, as everywhere in the suite.
+// (DESIGN.md §7, §9).
+//
+// Two suppression granularities exist. A site suppression
+// (`//abcdlint:ignore hotpath -- reason` on the allocation or lock) keeps
+// one finding quiet. A boundary suppression — the same comment on a call
+// site inside hot code — additionally stops the contract from propagating
+// through that edge, for calls that are deliberately amortized off the
+// per-edge path (a per-batch flush, pool-refilled scratch).
 var HotPath = &Analyzer{
-	Name: hotPathName,
-	Doc:  "flags allocations and mutex use inside //abcd:hotpath functions",
-	Run:  runHotPath,
+	Name:      hotPathName,
+	Doc:       "flags allocations and mutex use in //abcd:hotpath functions and everything they transitively call",
+	RunModule: runHotPath,
 }
 
 // hotPathDirective is the annotation the rule looks for in a function's
 // doc comment group.
 const hotPathDirective = "//abcd:hotpath"
 
-func runHotPath(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !isHotPathFunc(fd) {
-				continue
+func runHotPath(pass *ModulePass) {
+	graph := buildCallGraph(pass.Pkgs)
+
+	annotated := make(map[*types.Func]*cgNode)
+	var roots []*cgNode
+	for _, n := range graph.funcs {
+		if isHotPathFunc(n.decl) {
+			annotated[n.obj] = n
+			roots = append(roots, n)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].decl.Pos() < roots[j].decl.Pos() })
+
+	// Annotated bodies are checked directly, then the contract propagates
+	// breadth-first through unsuppressed call edges. A callee reachable
+	// from several roots is reported once, with the first (position-order)
+	// chain that reaches it.
+	for _, root := range roots {
+		checkHotPathBody(pass, root, nil)
+	}
+	visited := make(map[*types.Func]bool)
+	for _, root := range roots {
+		type item struct {
+			node  *cgNode
+			chain []ChainHop
+		}
+		queue := []item{{node: root, chain: []ChainHop{{Func: funcDisplayName(root), Pos: token.NoPos}}}}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range cur.node.edges {
+				if pass.suppressedAt(e.site.Pos(), hotPathName) {
+					continue // boundary suppression: edge declared amortized
+				}
+				callee, ok := graph.funcs[e.callee]
+				if !ok {
+					continue // outside the scanned module
+				}
+				if annotated[e.callee] != nil || visited[e.callee] {
+					continue
+				}
+				visited[e.callee] = true
+				chain := append(append([]ChainHop(nil), cur.chain...),
+					ChainHop{Func: funcDisplayName(callee), Pos: e.site.Pos()})
+				checkHotPathBody(pass, callee, chain)
+				queue = append(queue, item{node: callee, chain: chain})
 			}
-			checkHotPathBody(pass, fd)
 		}
 	}
 }
@@ -55,24 +102,51 @@ func isHotPathFunc(fd *ast.FuncDecl) bool {
 	return false
 }
 
+// funcDisplayName renders a function for chain reporting: "Type.Name" for
+// methods, "Name" otherwise.
+func funcDisplayName(n *cgNode) string {
+	if sig, ok := n.obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedRecvType(sig.Recv().Type()); named != nil {
+			return named.Obj().Name() + "." + n.obj.Name()
+		}
+	}
+	return n.obj.Name()
+}
+
+// chainString renders a call chain as "root -> f -> g".
+func chainString(chain []ChainHop) string {
+	parts := make([]string, len(chain))
+	for i, h := range chain {
+		parts[i] = h.Func
+	}
+	return strings.Join(parts, " -> ")
+}
+
 // checkHotPathBody flags every allocation site and mutex method call in
-// the annotated function's body, including inside deferred calls and
-// function literals (they run on the same path).
-func checkHotPathBody(pass *Pass, fd *ast.FuncDecl) {
-	info := pass.Pkg.Info
-	name := fd.Name.Name
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// one function's body, including inside deferred calls and function
+// literals (they run on the same path). A nil chain means the function
+// itself carries the //abcd:hotpath annotation; otherwise chain is the
+// call path from the annotated root.
+func checkHotPathBody(pass *ModulePass, node *cgNode, chain []ChainHop) {
+	info := node.pkg.Info
+	name := node.decl.Name.Name
+	where := fmt.Sprintf("//abcd:hotpath function %s", name)
+	if chain != nil {
+		where = fmt.Sprintf("%s, reached from //abcd:hotpath %s (chain: %s)",
+			funcDisplayName(node), chain[0].Func, chainString(chain))
+	}
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
 		if msg := allocMessage(info, call); msg != "" {
-			pass.Report(Diagnostic{Pos: call.Pos(), Rule: hotPathName,
-				Message: fmt.Sprintf("%s in //abcd:hotpath function %s; %s", msg, name, allocAdvice(msg))})
+			pass.Report(Diagnostic{Pos: call.Pos(), Rule: hotPathName, Chain: chain,
+				Message: fmt.Sprintf("%s in %s; %s", msg, where, allocAdvice(msg))})
 		}
 		if lock := hotPathMutexCall(info, call); lock != "" {
-			pass.Report(Diagnostic{Pos: call.Pos(), Rule: hotPathName,
-				Message: fmt.Sprintf("%s in //abcd:hotpath function %s; the hot path is lock-free — use atomics or a per-worker telemetry shard", lock, name)})
+			pass.Report(Diagnostic{Pos: call.Pos(), Rule: hotPathName, Chain: chain,
+				Message: fmt.Sprintf("%s in %s; the hot path is lock-free — use atomics or a per-worker telemetry shard", lock, where)})
 		}
 		return true
 	})

@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Publish checks the engine's publication discipline, in two parts.
+//
+// Part one is flow-aware: when a local value is published through an
+// atomic store (`p.Store(&x)`, `atomic.StorePointer(&p, &x)`), readers can
+// observe it from that statement on, so later statements in the same block
+// must not mutate it — initialize fully, then publish, the idiom every
+// lock-free handoff in the engine relies on (DESIGN.md §7). Returning the
+// published value is also reported, because it hands the caller a mutable
+// alias to shared state; when that is deliberate (callers only read, or
+// writers are themselves atomic), say so with a suppression.
+//
+// Part two is a field contract: a struct field annotated with
+// `//abcd:stamped` (the per-slot write stamps and atomic word arrays in
+// internal/cluster and internal/word) may only be read through sync/atomic
+// — an atomic function taking its address, or a method on an atomic
+// element type. len/cap, index-only range, and composite-literal keys are
+// exempt, as are plain-assignment initializations (construction happens
+// before sharing).
+var Publish = &Analyzer{
+	Name: publishName,
+	Doc:  "flags mutations of values after their atomic-store publication and non-atomic reads of //abcd:stamped fields",
+	Run:  runPublish,
+}
+
+// stampedDirective marks a struct field whose reads must be atomic.
+const stampedDirective = "//abcd:stamped"
+
+func runPublish(pass *Pass) {
+	info := pass.Pkg.Info
+	parents := buildParents(pass.Pkg.Files)
+	stamped := collectStampedFields(pass.Pkg)
+	for _, f := range pass.Pkg.Files {
+		checkPostPublish(pass, info, f)
+		checkStampedReads(pass, info, parents, stamped, f)
+	}
+}
+
+// ---- part one: post-publish mutation ----
+
+// checkPostPublish scans every statement list for an atomic store
+// publishing a local, then flags later statements that write through or
+// return the published value.
+func checkPostPublish(pass *Pass, info *types.Info, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			obj, store := publishedLocal(info, s)
+			if obj == nil {
+				continue
+			}
+			for _, later := range list[i+1:] {
+				flagPostPublishUse(pass, info, obj, store, later)
+			}
+		}
+		return true
+	})
+}
+
+// publishedLocal matches one statement against the atomic-publish shapes
+// and returns the local variable object it publishes: `recv.Store(v)` and
+// `recv.Store(&v)` for a sync/atomic method, `atomic.StoreX(&p, v)` and
+// friends for the function form (the published value is the last
+// argument).
+func publishedLocal(info *types.Info, s ast.Stmt) (types.Object, *ast.CallExpr) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil, nil
+	}
+	call, ok := unparen(es.X).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, nil
+	}
+	fn, ok := calleeFunc(info, call)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !strings.HasPrefix(fn.Name(), "Store") {
+		return nil, nil
+	}
+	arg := unparen(call.Args[len(call.Args)-1])
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		arg = unparen(u.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.IsField() || obj.Parent() == nil {
+		return nil, nil
+	}
+	return obj, call
+}
+
+// flagPostPublishUse reports writes through obj and returns of obj inside
+// one statement executed after obj's publication.
+func flagPostPublishUse(pass *Pass, info *types.Info, obj types.Object, store *ast.CallExpr, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if root := rootIdent(lhs); root != nil && info.Uses[root] == obj {
+					pass.Report(Diagnostic{Pos: lhs.Pos(), Rule: publishName,
+						Message: fmt.Sprintf("write to %s after it was published by an atomic store; readers may already hold it — complete initialization before the Store", obj.Name())})
+				}
+			}
+		case *ast.IncDecStmt:
+			if root := rootIdent(n.X); root != nil && info.Uses[root] == obj {
+				pass.Report(Diagnostic{Pos: n.Pos(), Rule: publishName,
+					Message: fmt.Sprintf("mutation of %s after it was published by an atomic store; readers may already hold it — complete initialization before the Store", obj.Name())})
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if root := rootIdent(res); root != nil && info.Uses[root] == obj {
+					pass.Report(Diagnostic{Pos: res.Pos(), Rule: publishName,
+						Message: fmt.Sprintf("%s is returned after being published by an atomic store, handing the caller a mutable alias to shared state; suppress with the safety argument or copy before publishing", obj.Name())})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootIdent unwraps index/selector/star/paren chains to the base
+// identifier, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ---- part two: stamped fields ----
+
+// collectStampedFields gathers every struct field in pkg carrying the
+// //abcd:stamped directive in its doc or line comment.
+func collectStampedFields(pkg *Package) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(field *ast.Field) {
+		for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == stampedDirective {
+					for _, name := range field.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mark(field)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkStampedReads flags every use of a stamped field that is not
+// sanctioned: not inside a sync/atomic call, not len/cap, not an
+// index-only range, not a composite-literal key, and not a plain
+// assignment target.
+func checkStampedReads(pass *Pass, info *types.Info, parents parentMap, stamped map[types.Object]bool, f *ast.File) {
+	if len(stamped) == 0 {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[sel.Sel]
+		if obj == nil || !stamped[obj] {
+			return true
+		}
+		if !stampedUseSanctioned(info, parents, sel) {
+			pass.Report(Diagnostic{Pos: sel.Pos(), Rule: publishName,
+				Message: fmt.Sprintf("non-atomic read of stamp-protected field %s (//abcd:stamped); go through sync/atomic so the write stamp's happens-before edge holds", obj.Name())})
+		}
+		return true
+	})
+}
+
+// stampedUseSanctioned walks up from the field selector classifying its
+// use.
+func stampedUseSanctioned(info *types.Info, parents parentMap, sel *ast.SelectorExpr) bool {
+	var node ast.Node = sel
+	for {
+		parent := parents[node]
+		if parent == nil {
+			return false
+		}
+		switch p := parent.(type) {
+		case *ast.CallExpr:
+			if node == p.Fun {
+				// The field itself is being called as a function: not an
+				// atomic access.
+				return false
+			}
+			if fn, ok := calleeFunc(info, p); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				return true
+			}
+			if id, ok := unparen(p.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+					return true
+				}
+			}
+			return false
+		case *ast.SelectorExpr:
+			// The field is the receiver of a method selection
+			// (slotSeq[i].Load): sanctioned iff the method lives in
+			// sync/atomic, i.e. the element type itself is atomic.
+			if mfn, ok := info.Uses[p.Sel].(*types.Func); ok && mfn.Pkg() != nil && mfn.Pkg().Path() == "sync/atomic" {
+				return true
+			}
+			return false
+		case *ast.RangeStmt:
+			// `for i := range x.field` touches only the length.
+			return node == p.X && p.Value == nil
+		case *ast.KeyValueExpr:
+			return node == p.Key
+		case *ast.AssignStmt:
+			// Plain-assignment initialization before sharing.
+			if p.Tok == token.ASSIGN || p.Tok == token.DEFINE {
+				for _, lhs := range p.Lhs {
+					if lhs == node {
+						return true
+					}
+				}
+			}
+			return false
+		case *ast.IndexExpr, *ast.ParenExpr, *ast.UnaryExpr, *ast.StarExpr:
+			node = parent
+		default:
+			return false
+		}
+	}
+}

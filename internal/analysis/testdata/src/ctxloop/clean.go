@@ -1,0 +1,65 @@
+package ctxloop
+
+import (
+	"context"
+	"time"
+)
+
+// SelectDone selects on ctx.Done directly.
+func SelectDone(ctx context.Context, ch <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+// DerivedDone receives through a channel variable assigned from ctx.Done,
+// the cluster coordinator's idiom.
+func DerivedDone(ctx context.Context, ch <-chan int) {
+	done := ctx.Done()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ch:
+		}
+	}
+}
+
+// ErrPoll checks ctx.Err every iteration.
+func ErrPoll(ctx context.Context, ready func() bool) error {
+	for !ready() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// NoCtx takes no context: the rule has no opinion on how it stops.
+func NoCtx(ch <-chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// SpawnedWorker's literal loops without ctx, which is fine: the spawner
+// owns the stop channel, and the literal declares no context of its own.
+func SpawnedWorker(ctx context.Context, stop <-chan struct{}, ch chan<- int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case ch <- 1:
+			}
+		}
+	}()
+	<-ctx.Done()
+}

@@ -1,0 +1,46 @@
+// Package ctxloop is an abcdlint fixture: blocking loops in context-taking
+// functions must be cancellable through the context.
+package ctxloop
+
+import (
+	"context"
+	"time"
+)
+
+// PollSleep retries with a bare sleep: cancelling ctx cannot stop it.
+func PollSleep(ctx context.Context, ready func() bool) {
+	for !ready() { // want: time.Sleep without ctx
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// DrainNoCtx receives forever without a ctx.Done case.
+func DrainNoCtx(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for { // want: channel receive without ctx
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// SelectNoDone selects, but never on ctx.Done.
+func SelectNoDone(ctx context.Context, a, b <-chan int) {
+	for { // want: select without ctx
+		select {
+		case <-a:
+		case <-b:
+			return
+		}
+	}
+}
+
+// SuppressedPoll documents why it ignores cancellation and stays quiet.
+func SuppressedPoll(ctx context.Context, ready func() bool) {
+	//abcdlint:ignore ctxloop -- shutdown drain: the caller bounds it to three ticks
+	for !ready() {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,69 @@
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+)
+
+type pump struct {
+	stop chan struct{}
+	done chan struct{}
+	work func()
+}
+
+// StartStopChannel is the tracer-flusher pattern: the literal selects on a
+// stop channel.
+func (p *pump) StartStopChannel(tick <-chan struct{}) {
+	go func() {
+		defer close(p.done)
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-tick:
+				p.work()
+			}
+		}
+	}()
+}
+
+// loop is bounded by the stop channel; spawns of it resolve the body.
+func (p *pump) loop(tick <-chan struct{}) {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick:
+			p.work()
+		}
+	}
+}
+
+// SpawnMethod is judged by loop's body, cross-function.
+func (p *pump) SpawnMethod(tick <-chan struct{}) {
+	go p.loop(tick)
+}
+
+// StartWaitGroup registers with a WaitGroup.
+func StartWaitGroup(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// StartCtx is bounded by the context.
+func StartCtx(ctx context.Context, work func()) {
+	go func() {
+		work()
+		<-ctx.Done()
+	}()
+}
+
+// StartHelperBound finds the bound one same-package call level deep.
+func (p *pump) StartHelperBound(tick <-chan struct{}) {
+	go func() {
+		p.loop(tick)
+	}()
+}

@@ -1,0 +1,43 @@
+// Package goroutinelife is an abcdlint fixture: goroutines spawned in the
+// daemon-ish layers must have a visible lifetime bound.
+package goroutinelife
+
+import (
+	"net"
+	"net/http"
+)
+
+// ServeLeaky spawns a server goroutine nothing can stop.
+func ServeLeaky(ln net.Listener) {
+	go func() { // want: no lifetime bound
+		_ = http.Serve(ln, nil)
+	}()
+}
+
+// ServeSuppressed documents the listener-close bound and stays quiet.
+func ServeSuppressed(ln net.Listener) {
+	//abcdlint:ignore goroutine -- http.Serve returns when the caller closes ln
+	go func() {
+		_ = http.Serve(ln, nil)
+	}()
+}
+
+type daemon struct{ n int }
+
+// spin runs forever with no shutdown signal.
+func (d *daemon) spin() {
+	for {
+		d.n++
+	}
+}
+
+// SpawnSpin resolves the method body cross-function and finds no bound.
+func SpawnSpin(d *daemon) {
+	go d.spin() // want: no lifetime bound
+}
+
+// SpawnExternal spawns a function whose body is outside the package:
+// nothing visible bounds it.
+func SpawnExternal(ln net.Listener) {
+	go http.Serve(ln, nil) // want: no visible bound
+}

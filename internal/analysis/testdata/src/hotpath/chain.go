@@ -1,0 +1,56 @@
+package hotpath
+
+import "sync"
+
+// helperAlloc allocates. It carries no annotation; it becomes hot only by
+// being reached from an //abcd:hotpath root, and the finding must carry
+// the full chain.
+func helperAlloc(n int) []int {
+	return make([]int, n) // want: chain ChainRoot -> helperMid -> helperAlloc
+}
+
+// helperMid is the middle hop of the chain.
+func helperMid(n int) []int {
+	return helperAlloc(n)
+}
+
+// lockedSink's add is reached through an interface, exercising the
+// conservative dynamic-dispatch fan-out.
+type lockedSink struct {
+	mu    sync.Mutex
+	total int
+}
+
+func (s *lockedSink) add(v int) {
+	s.mu.Lock() // want: chain ChainRoot -> lockedSink.add
+	s.total += v
+	s.mu.Unlock() // want: chain ChainRoot -> lockedSink.add
+}
+
+type sink interface {
+	add(v int)
+}
+
+// ChainRoot is clean itself but reaches an allocating helper two hops down
+// and a mutex through an interface call.
+//
+//abcd:hotpath
+func ChainRoot(s sink, n int) {
+	buf := helperMid(n)
+	s.add(len(buf))
+}
+
+// helperRefill allocates, but every path to it is boundary-suppressed.
+func helperRefill(n int) []int {
+	return make([]int, n)
+}
+
+// BoundaryRoot cuts propagation at the call edge: the suppression on the
+// call site declares the callee amortized, so helperRefill stays quiet.
+//
+//abcd:hotpath
+func BoundaryRoot(n int) int {
+	//abcdlint:ignore hotpath -- amortized: refill runs once per batch, never per edge
+	buf := helperRefill(n)
+	return len(buf)
+}

@@ -1,0 +1,42 @@
+package publish
+
+import "sync/atomic"
+
+type cleanTable struct {
+	shards atomic.Pointer[[]shard]
+}
+
+// PublishLast fully initializes the set before the store and hands out
+// nothing afterwards.
+func (t *cleanTable) PublishLast(n int) {
+	set := make([]shard, n)
+	for i := range set {
+		set[i].hits = int64(i)
+	}
+	t.shards.Store(&set)
+}
+
+type cleanStamps struct {
+	//abcd:stamped
+	words []uint64
+}
+
+// AtomicAccess goes through sync/atomic, len, and index-only range: all
+// sanctioned.
+func (s *cleanStamps) AtomicAccess(i int) uint64 {
+	if i >= len(s.words) {
+		return 0
+	}
+	for w := range s.words {
+		atomic.AddUint64(&s.words[w], 0)
+	}
+	return atomic.LoadUint64(&s.words[i])
+}
+
+// NewCleanStamps initializes by plain assignment before the value is
+// shared, which the contract permits.
+func NewCleanStamps(n int) *cleanStamps {
+	s := &cleanStamps{}
+	s.words = make([]uint64, n)
+	return s
+}

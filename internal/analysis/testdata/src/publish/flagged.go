@@ -1,0 +1,45 @@
+// Package publish is an abcdlint fixture: initialize-then-publish ordering
+// and the //abcd:stamped field read contract.
+package publish
+
+import "sync/atomic"
+
+type shard struct {
+	hits int64
+	name string
+}
+
+type table struct {
+	shards atomic.Pointer[[]shard]
+}
+
+// PublishThenMutate writes through and returns the slice after publishing
+// it: readers loaded the pointer already.
+func (t *table) PublishThenMutate(n int) []shard {
+	set := make([]shard, n)
+	t.shards.Store(&set)
+	set[0].name = "late" // want: write after publish
+	return set           // want: escape after publish
+}
+
+// PublishHandout documents the alias handout and stays quiet.
+func (t *table) PublishHandout(n int) []shard {
+	set := make([]shard, n)
+	t.shards.Store(&set)
+	//abcdlint:ignore publish -- callers only read; every write goes through the atomic element methods
+	return set
+}
+
+type stamps struct {
+	//abcd:stamped
+	seq  []atomic.Uint64
+	data []uint64 //abcd:stamped
+}
+
+// ReadStampedPlain mixes a sanctioned atomic read with a plain one.
+func (s *stamps) ReadStampedPlain(i int) uint64 {
+	if s.seq[i].Load() > 0 { // ok: atomic element method
+		return s.data[i] // want: non-atomic read
+	}
+	return atomic.LoadUint64(&s.data[i]) // ok: address taken by sync/atomic
+}

@@ -44,7 +44,7 @@ func (KCore) ResetAccum(acc *KCoreAccum) { acc.ests = acc.ests[:0] }
 
 // EdgeGather implements Program.
 func (KCore) EdgeGather(acc *KCoreAccum, _ uint64, _ float32, src uint64) {
-	acc.ests = append(acc.ests, src) //abcdlint:ignore hotalloc -- amortized: ResetAccum keeps the capacity across vertices
+	acc.ests = append(acc.ests, src) //abcdlint:ignore hotalloc,hotpath -- amortized: ResetAccum keeps the capacity across vertices
 }
 
 // Apply implements Program: min(old, h-index of the gathered estimates).

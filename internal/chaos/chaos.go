@@ -118,12 +118,12 @@ func (t *Transport) Send(from, to int, e cluster.Envelope) {
 		t.dropped.Add(1)
 		return
 	}
-	t.mu.Lock()
+	t.mu.Lock() //abcdlint:ignore hotpath -- fault injector: the lock guards the shared rng behind deterministic drop/dup/jitter draws; chaos wraps only test transports
 	drop := t.rng.Float64() < t.cfg.DropRate
 	dup := t.rng.Float64() < t.cfg.DupRate
 	d1 := t.jitterLocked()
 	d2 := t.jitterLocked()
-	t.mu.Unlock()
+	t.mu.Unlock() //abcdlint:ignore hotpath -- fault injector: see the matching Lock above
 	if drop {
 		t.dropped.Add(1)
 	} else {

@@ -32,7 +32,7 @@ type clusterRun[V, M any] struct {
 	// stale value. Local scatter writes bypass the stamps — a slot's
 	// writer is its source vertex's owner, so local and remote writers
 	// of one slot never coexist (failover fences the handover).
-	slotSeq []atomic.Uint64
+	slotSeq []atomic.Uint64 //abcd:stamped
 
 	blockOwner []atomic.Int32 // global block id -> current owner node id
 	nodes      []*node[V, M]
@@ -242,12 +242,12 @@ func (c *clusterRun[V, M]) run(ctx context.Context) (*Result[V], error) {
 	aux.Add(1)
 	go func() {
 		defer aux.Done()
-		c.retryLoop()
+		c.retryLoop(ctx)
 	}()
 	aux.Add(1)
 	go func() {
 		defer aux.Done()
-		c.watchdog()
+		c.watchdog(ctx)
 	}()
 	if c.cfg.OnStart != nil {
 		c.cfg.OnStart(c)
@@ -495,23 +495,23 @@ func (c *clusterRun[V, M]) flush(n *node[V, M], owner int, p *batch, sh *telemet
 		from:   n.id,
 		id:     c.seq.Add(1),
 		sentAt: now,
-		slots:  append([]int64(nil), p.slots...),  //abcdlint:ignore hotalloc -- ownership copy: the envelope crosses the transport while p is reused
-		blocks: append([]int32(nil), p.blocks...), //abcdlint:ignore hotalloc -- ownership copy: the envelope crosses the transport while p is reused
-		words:  append([]uint64(nil), p.words...), //abcdlint:ignore hotalloc -- ownership copy: the envelope crosses the transport while p is reused
+		slots:  append([]int64(nil), p.slots...),  //abcdlint:ignore hotalloc,hotpath -- ownership copy: the envelope crosses the transport while p is reused
+		blocks: append([]int32(nil), p.blocks...), //abcdlint:ignore hotalloc,hotpath -- ownership copy: the envelope crosses the transport while p is reused
+		words:  append([]uint64(nil), p.words...), //abcdlint:ignore hotalloc,hotpath -- ownership copy: the envelope crosses the transport while p is reused
 	}
 	p.slots, p.blocks, p.words = p.slots[:0], p.blocks[:0], p.words[:0]
 	c.totalSent.Add(1)
 	c.inflight.Add(1)
 	sh.Add(telemetry.CtrMessagesSent, int64(len(e.slots)))
 	sh.Add(telemetry.CtrBatchesSent, 1)
-	n.unackedMu.Lock()
-	n.unacked[e.id] = &pending{ //abcdlint:ignore hotalloc -- at-least-once bookkeeping: one entry per batch, amortized over BatchSize slot updates
+	n.unackedMu.Lock()          //abcdlint:ignore hotpath -- at-least-once bookkeeping: one lock per batch, amortized over BatchSize slot updates
+	n.unacked[e.id] = &pending{ //abcdlint:ignore hotalloc,hotpath -- at-least-once bookkeeping: one entry per batch, amortized over BatchSize slot updates
 		to:        owner,
 		env:       e,
 		nextRetry: now.Add(c.cfg.retryBase()),
 		deadline:  now.Add(c.cfg.retryDeadline()),
 	}
-	n.unackedMu.Unlock()
+	n.unackedMu.Unlock() //abcdlint:ignore hotpath -- at-least-once bookkeeping: see the matching Lock above
 	c.transport.Send(n.id, owner, e)
 }
 
@@ -603,15 +603,24 @@ type retrySend struct {
 // abandons batches whose destination died (the failover rebuild is their
 // compensation), and fails the run if a batch to a live node outlives its
 // delivery deadline.
-func (c *clusterRun[V, M]) retryLoop() {
+func (c *clusterRun[V, M]) retryLoop(ctx context.Context) {
 	base := c.cfg.retryBase()
 	tick := base / 4
 	if tick < 200*time.Microsecond {
 		tick = 200 * time.Microsecond
 	}
+	timer := time.NewTimer(tick)
+	defer timer.Stop()
 	var due []retrySend
 	for !c.stopping.Load() {
-		time.Sleep(tick)
+		select {
+		case <-ctx.Done():
+			// coordinate flips stopping on cancellation; returning here
+			// just skips the rest of the tick.
+			return
+		case <-timer.C:
+		}
+		timer.Reset(tick)
 		now := time.Now()
 		for _, n := range c.nodes {
 			due = due[:0]
@@ -658,7 +667,7 @@ func (c *clusterRun[V, M]) retryLoop() {
 // periods in which nothing moved — neither a vertex update nor a batch
 // application. The count surfaces as Stats.StallWindows so a hung or
 // partitioned run is visible even when it eventually completes.
-func (c *clusterRun[V, M]) watchdog() {
+func (c *clusterRun[V, M]) watchdog(ctx context.Context) {
 	period := c.cfg.watchdogPeriod()
 	if period <= 0 {
 		return
@@ -667,6 +676,8 @@ func (c *clusterRun[V, M]) watchdog() {
 	if step < time.Millisecond {
 		step = time.Millisecond
 	}
+	timer := time.NewTimer(step)
+	defer timer.Stop()
 	last := int64(-1)
 	for {
 		deadline := time.Now().Add(period)
@@ -674,7 +685,12 @@ func (c *clusterRun[V, M]) watchdog() {
 			if c.stopping.Load() {
 				return
 			}
-			time.Sleep(step)
+			select {
+			case <-ctx.Done():
+				return
+			case <-timer.C:
+			}
+			timer.Reset(step)
 		}
 		progress := c.vertexUpdates() + c.totalSent.Load() - c.inflight.Load()
 		if progress == last {

@@ -56,10 +56,10 @@ func (m memSource) Close() error { return nil }
 // validateRange checks a Block request against the graph's offsets.
 func validateRange(g *graph.Graph, vlo, vhi int, slo, shi int64) error {
 	if vlo < 0 || vhi > g.NumVertices() || vlo > vhi {
-		return fmt.Errorf("edgestore: vertex range [%d,%d) invalid", vlo, vhi)
+		return fmt.Errorf("edgestore: vertex range [%d,%d) invalid", vlo, vhi) //abcdlint:ignore hotpath -- error path: formats only on an engine bug, never in a healthy sweep
 	}
 	if slo != g.InOffset(vlo) || shi != g.InOffset(vhi) {
-		return fmt.Errorf("edgestore: slot range [%d,%d) not aligned to vertices [%d,%d)", slo, shi, vlo, vhi)
+		return fmt.Errorf("edgestore: slot range [%d,%d) not aligned to vertices [%d,%d)", slo, shi, vlo, vhi) //abcdlint:ignore hotpath -- error path: formats only on an engine bug, never in a healthy sweep
 	}
 	return nil
 }

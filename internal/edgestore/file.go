@@ -137,9 +137,9 @@ func (s *fileSource) Block(vlo, vhi int, slo, shi int64) ([]uint32, []float32, f
 		bb = &blockBuf{}
 	}
 	if cap(bb.raw) < 4*n {
-		bb.raw = make([]byte, 4*n)
+		bb.raw = make([]byte, 4*n) //abcdlint:ignore hotpath -- grow-once: pooled buffer, reallocates only when a larger block class first appears
 		bb.src = make([]uint32, n)
-		bb.w = make([]float32, n)
+		bb.w = make([]float32, n) //abcdlint:ignore hotpath -- grow-once: pooled buffer, see above
 	}
 	bb.src, bb.w = bb.src[:n], bb.w[:n]
 
@@ -154,7 +154,7 @@ func (s *fileSource) Block(vlo, vhi int, slo, shi int64) ([]uint32, []float32, f
 
 func (s *fileSource) readU32s(off int64, raw []byte, out []uint32) error {
 	if _, err := s.f.ReadAt(raw, off); err != nil {
-		return fmt.Errorf("edgestore: read at %d: %w", off, err)
+		return fmt.Errorf("edgestore: read at %d: %w", off, err) //abcdlint:ignore hotpath -- error path: formats only when the file is unreadable and the run is failing
 	}
 	for i := range out {
 		out[i] = binary.LittleEndian.Uint32(raw[4*i:])
@@ -164,7 +164,7 @@ func (s *fileSource) readU32s(off int64, raw []byte, out []uint32) error {
 
 func (s *fileSource) readF32s(off int64, raw []byte, out []float32) error {
 	if _, err := s.f.ReadAt(raw, off); err != nil {
-		return fmt.Errorf("edgestore: read at %d: %w", off, err)
+		return fmt.Errorf("edgestore: read at %d: %w", off, err) //abcdlint:ignore hotpath -- error path: formats only when the file is unreadable and the run is failing
 	}
 	for i := range out {
 		out[i] = f32frombits(binary.LittleEndian.Uint32(raw[4*i:]))

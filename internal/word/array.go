@@ -13,7 +13,7 @@ import (
 type Array[V any] struct {
 	codec Codec[V]
 	words int
-	data  []uint64
+	data  []uint64 //abcd:stamped
 }
 
 // NewArray allocates an n-value array; all values decode from zero words.
@@ -78,7 +78,9 @@ func (a *Array[V]) Bytes() int64 { return int64(len(a.data)) * 8 }
 
 // FloatArray is an array of float64 supporting atomic CAS accumulation,
 // used for block priorities (Gauss-Southwell gradient mass, Sec. IV-B).
-type FloatArray struct{ bits []uint64 }
+type FloatArray struct {
+	bits []uint64 //abcd:stamped
+}
 
 // NewFloatArray allocates an n-element zeroed float array.
 func NewFloatArray(n int) *FloatArray { return &FloatArray{bits: make([]uint64, n)} }
@@ -117,7 +119,7 @@ func (f *FloatArray) Swap(i int, v float64) float64 {
 // block flags of the termination unit.
 type Bitset struct {
 	n     int
-	words []uint64
+	words []uint64 //abcd:stamped
 }
 
 // NewBitset allocates an n-bit zeroed bitset.

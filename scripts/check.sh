@@ -31,8 +31,26 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== abcdlint"
-go run ./cmd/abcdlint ./...
+echo "== abcdlint self-check (-rules list)"
+# The rule registry drives the SARIF tool.driver.rules table and the docs;
+# a rule that vanishes from the listing is a wiring bug, catch it here.
+rules=$(go run ./cmd/abcdlint -rules list)
+for r in atomicword hotalloc hotpath locksafe errcheck goroutine ctxloop publish boundalloc; do
+    if ! grep -q "^$r " <<<"$rules"; then
+        echo "abcdlint -rules list is missing rule '$r'" >&2
+        exit 1
+    fi
+done
+
+echo "== abcdlint (JSON report, baseline-gated)"
+# Machine-readable report for CI artifacts; the run fails only on findings
+# not grandfathered by lint_baseline.json, so the gate catches regressions
+# without blocking on accepted debt.
+if ! go run ./cmd/abcdlint -format json -baseline lint_baseline.json ./... >lint_report.json; then
+    echo "abcdlint found fresh findings (report in lint_report.json):" >&2
+    go run ./cmd/abcdlint -baseline lint_baseline.json ./... >&2 || true
+    exit 1
+fi
 
 echo "== go build"
 go build ./...
