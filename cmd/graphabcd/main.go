@@ -20,12 +20,22 @@
 //
 //	graphabcd -algo pr -dataset LJ -nodes 4 -chaos-drop 0.2 -chaos-dup 0.1
 //	graphabcd -algo cc -dataset WT -nodes 3 -fail-node 1 -timeout 30s
+//
+// -listen/-join scale the same engine out across processes over real TCP
+// sockets: the coordinator loads the graph and serves each joiner only
+// its own partition's snapshot sections, every process hosts one node,
+// and the coordinator collects the converged values:
+//
+//	graphabcd -algo cc -dataset WT -nodes 3 -listen 127.0.0.1:7001   # coordinator
+//	graphabcd -join 127.0.0.1:7001                                   # joiner ×2
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"sort"
@@ -35,6 +45,7 @@ import (
 	"graphabcd/internal/bcd"
 	"graphabcd/internal/chaos"
 	"graphabcd/internal/cluster"
+	"graphabcd/internal/cluster/tcp"
 	"graphabcd/internal/core"
 	"graphabcd/internal/edgestore"
 	"graphabcd/internal/gen"
@@ -84,6 +95,10 @@ func run() error {
 		failNode   = flag.Int("fail-node", -1, "distributed: kill this node mid-run (-1 = none)")
 		failAfter  = flag.Int64("fail-after", 200, "distributed: batches carried before -fail-node is killed")
 
+		listenAddr = flag.String("listen", "", "run as the TCP cluster coordinator on this address; waits for -nodes minus one joiners")
+		joinAddr   = flag.String("join", "", "join a TCP cluster coordinator at this address (all other run flags come from it)")
+		valuesOut  = flag.String("values-out", "", "coordinator: write the converged per-vertex values to this file, one per line")
+
 		useTel      = flag.Bool("telemetry", false, "enable stage histograms and the post-run telemetry report")
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of sampled block lifecycles to this file")
 		traceSample = flag.Int("trace-sample", 16, "trace every Nth block id (1 = every block)")
@@ -101,6 +116,23 @@ func run() error {
 			srcSet = true
 		}
 	})
+
+	if *joinAddr != "" {
+		// A joiner is configured entirely by its coordinator: no graph,
+		// no dataset, no engine flags.
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		fmt.Printf("joining coordinator at %s\n", *joinAddr)
+		if err := tcp.Join(ctx, *joinAddr, tcp.Options{}); err != nil {
+			return err
+		}
+		fmt.Println("join run complete")
+		return nil
+	}
 
 	g, err := loadGraph(*graphFile, *dataset, *shrink, *algo)
 	if err != nil {
@@ -144,6 +176,24 @@ func run() error {
 			return err
 		}
 		telReg = tses.reg
+	}
+
+	if *listenAddr != "" {
+		err := runListen(ctx, g, *listenAddr, *valuesOut, distOpts{
+			tel:       telReg,
+			algo:      *algo,
+			src:       src,
+			top:       *top,
+			nodes:     *nodes,
+			blockSize: blockSize,
+			wpn:       *wpn,
+			batch:     *batch,
+			eps:       *eps,
+		})
+		if tses != nil {
+			tses.finish()
+		}
+		return err
 	}
 
 	if *nodes > 1 {
@@ -314,6 +364,85 @@ type distOpts struct {
 	seed      uint64
 	failNode  int
 	failAfter int64
+}
+
+// runListen runs the coordinator side of a TCP cluster: the loaded graph
+// is staged as a plain snapshot (the section server needs positioned
+// reads), joiners are awaited on the control listener, and the collected
+// values are reported like a local run.
+func runListen(ctx context.Context, g *graph.Graph, addr, valuesOut string, o distOpts) error {
+	dir, err := os.MkdirTemp("", "graphabcd-dist")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
+	snapPath := filepath.Join(dir, "graph.gabs")
+	if err := graph.SaveFormat(snapPath, g, graph.FormatSnapshot); err != nil {
+		return err
+	}
+	ctrl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ctrl.Close() }()
+	fmt.Printf("coordinating %d nodes on %s (%d joiners expected)\n", o.nodes, ctrl.Addr(), o.nodes-1)
+	res, err := tcp.Serve(ctx, ctrl, snapPath, tcp.DistConfig{
+		Nodes:          o.nodes,
+		Algo:           o.algo,
+		Source:         o.src,
+		BlockSize:      o.blockSize,
+		WorkersPerNode: o.wpn,
+		BatchSize:      o.batch,
+		Epsilon:        o.eps,
+		Telemetry:      o.tel,
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case res.Float != nil:
+		if o.algo == "sssp" {
+			fmt.Printf("source: %d\n", o.src)
+		}
+		printTopFloat(res.Float, o.top, map[string]string{"pr": "rank", "sssp": "dist"}[o.algo])
+	case o.algo == "bfs":
+		fmt.Printf("source: %d, reached: %d\n", o.src, countReached(res.Uint))
+	default:
+		fmt.Printf("components: %d\n", countComponents(res.Uint))
+	}
+	fmt.Printf("nodes: %d\nbatches sent: %d\nwall time: %v\n", o.nodes, res.BatchesSent, res.WallTime)
+	if valuesOut != "" {
+		if err := writeValues(valuesOut, res); err != nil {
+			return err
+		}
+		fmt.Printf("values: %s\n", valuesOut)
+	}
+	return nil
+}
+
+// writeValues dumps the converged values one per line, floats with full
+// round-trip precision so runs can be compared exactly.
+func writeValues(path string, res *tcp.DistResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	// bufio's error is sticky: a failed write here surfaces at Flush.
+	w := bufio.NewWriter(f)
+	if res.Float != nil {
+		for _, v := range res.Float {
+			_, _ = fmt.Fprintf(w, "%.17g\n", v)
+		}
+	} else {
+		for _, v := range res.Uint {
+			_, _ = fmt.Fprintf(w, "%d\n", v)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runDistributed executes pr/sssp/bfs/cc on the cluster engine, wiring up

@@ -133,7 +133,7 @@ type Config struct {
 
 	// BoundAllocPkgs restricts boundalloc to packages whose import path
 	// contains one of these substrings — the decoder packages that consume
-	// untrusted on-disk bytes.
+	// untrusted on-disk or wire bytes.
 	BoundAllocPkgs []string
 
 	// BoundAllocClamps names the functions boundalloc recognizes as size
@@ -163,7 +163,7 @@ func DefaultConfig() *Config {
 			"internal/accel:RunGather",
 		},
 		ErrcheckIgnoreDeferredClose: true,
-		BoundAllocPkgs:              []string{"internal/edgestore", "internal/graph"},
+		BoundAllocPkgs:              []string{"internal/edgestore", "internal/graph", "internal/cluster", "internal/chaos/netproxy"},
 		BoundAllocClamps:            []string{"presizeCap", "growEarned"},
 		GoroutineOwnedPkgs:          []string{"/cmd/", "internal/telemetry"},
 	}

@@ -62,6 +62,11 @@ type Transport struct {
 	mu  sync.Mutex // guards rng only; never held across a delivery
 	rng *rand.Rand
 
+	// sendMu fences senders against Close: Send holds it for read, and
+	// Close takes the write side before waiting on wg, so every wg.Add
+	// is ordered before the Wait (concurrent Add/Wait on a WaitGroup
+	// that may be at zero is a race). Uncontended in steady state.
+	sendMu     sync.RWMutex
 	closed     atomic.Bool
 	wg         sync.WaitGroup // in-flight delayed deliveries
 	slots      chan struct{}  // bounds in-flight delayed deliveries (backpressure)
@@ -100,6 +105,8 @@ func (t *Transport) Bind(numNodes int, deliver func(int, cluster.Envelope)) {
 // seeded PRNG and delivers zero, one, or two copies of e, each after its
 // own jitter.
 func (t *Transport) Send(from, to int, e cluster.Envelope) {
+	t.sendMu.RLock()         //abcdlint:ignore hotpath -- Close fence: uncontended reader lock, write side taken once at teardown
+	defer t.sendMu.RUnlock() //abcdlint:ignore hotpath -- Close fence: see the matching RLock above
 	if t.closed.Load() {
 		return
 	}
@@ -181,7 +188,12 @@ func (t *Transport) post(to int, e cluster.Envelope, d time.Duration) {
 // Close implements cluster.Transport: it stops new traffic and waits for
 // every delayed delivery goroutine to finish or discard its envelope.
 func (t *Transport) Close() {
+	// The write side waits out every in-flight Send, so after the store
+	// no new delivery goroutine can register; release before Wait so the
+	// appliers' late ack Sends (no-ops now) never queue behind it.
+	t.sendMu.Lock()
 	t.closed.Store(true)
+	t.sendMu.Unlock()
 	t.wg.Wait()
 }
 

@@ -1,0 +1,274 @@
+// Package netproxy is a packet-mangling TCP proxy for torturing the
+// socket transport: it forwards length-prefixed frames between a client
+// and a fixed target while dropping, duplicating, delaying, splitting,
+// and corrupting them mid-stream. Where the chaos transport injects
+// faults above the wire, netproxy injects them below it — a corrupted
+// frame must die at the receiver's CRC check, a killed connection must
+// come back through the dial backoff, and the engine's at-least-once
+// accounting must absorb all of it without changing the fixed point.
+//
+// The proxy understands just enough of the frame format (little-endian
+// u32 body length, body, u32 CRC trailer) to mangle on frame boundaries;
+// a stream that stops looking like frames is passed through verbatim.
+package netproxy
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	frameLenSize = 4
+	frameCRCSize = 4
+	maxFrameBody = 1 << 20
+)
+
+// Config sets the fault mix. All rates are per-frame probabilities in
+// [0, 1]; the zero value forwards everything untouched.
+type Config struct {
+	// Seed makes the per-connection fault schedule reproducible.
+	Seed uint64
+	// DropRate silently discards a frame.
+	DropRate float64
+	// DupRate forwards a frame twice back to back.
+	DupRate float64
+	// CorruptRate flips one bit anywhere in the frame — length prefix,
+	// body, or checksum — before forwarding. A body or checksum hit
+	// must die at the receiver's CRC check (frame dropped, stream
+	// alive); a length-prefix hit desyncs the stream and must kill the
+	// connection through to the reconnect path.
+	CorruptRate float64
+	// SplitRate writes a frame in two separate segments, forcing the
+	// receiver through its partial-read path. Loopback TCP disables
+	// Nagle, so the segments arrive as distinct reads without any pause.
+	SplitRate float64
+	// DelayRate holds a frame for a uniform random duration up to
+	// MaxDelay before forwarding it. The delay is head-of-line for the
+	// whole stream, and the OS cannot sleep for less than roughly a
+	// millisecond, so this must stay a sampled fault — delaying every
+	// frame would throttle the wire to under a thousand frames a second
+	// and starve the engine rather than stress it.
+	DelayRate float64
+	// MaxDelay bounds the sampled per-frame delay.
+	MaxDelay time.Duration
+}
+
+// Counts reports what the proxy has done to the traffic so far.
+type Counts struct {
+	Frames, Dropped, Duplicated, Corrupted, Split, Delayed int64
+	// Conns counts client connections accepted over the proxy's life.
+	Conns int64
+}
+
+// Proxy is one listening socket fronting one target address. Every
+// accepted connection gets an independent mangling pipeline seeded from
+// Config.Seed and the connection ordinal.
+type Proxy struct {
+	target string
+	cfg    Config
+	ln     net.Listener
+
+	done   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	frames, dropped, duplicated atomic.Int64
+	corrupted, split, delayed   atomic.Int64
+	accepted                    atomic.Int64
+}
+
+// New starts a proxy on a loopback ephemeral port forwarding to target.
+func New(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		target: target,
+		cfg:    cfg,
+		ln:     ln,
+		done:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address clients should dial instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Counts snapshots the fault counters.
+func (p *Proxy) Counts() Counts {
+	return Counts{
+		Frames: p.frames.Load(), Dropped: p.dropped.Load(),
+		Duplicated: p.duplicated.Load(), Corrupted: p.corrupted.Load(),
+		Split: p.split.Load(), Delayed: p.delayed.Load(),
+		Conns: p.accepted.Load(),
+	}
+}
+
+// CutConns severs every live proxied connection without stopping the
+// proxy; clients reconnect through their backoff path.
+func (p *Proxy) CutConns() {
+	p.connMu.Lock()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.connMu.Unlock()
+}
+
+// Close stops accepting, severs everything, and joins the pipelines.
+func (p *Proxy) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(p.done)
+	_ = p.ln.Close()
+	p.CutConns()
+	p.wg.Wait()
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	if p.closed.Load() {
+		_ = c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	_ = c.Close()
+	p.connMu.Lock()
+	delete(p.conns, c)
+	p.connMu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		id := p.accepted.Add(1)
+		if !p.track(client) {
+			return
+		}
+		p.wg.Add(1)
+		go p.pipe(client, id)
+	}
+}
+
+// pipe connects one accepted client to a fresh target connection:
+// client-to-target traffic runs through the frame mangler, the return
+// direction (idle in the transport's one-way protocol) copies verbatim.
+// Either side failing tears down both.
+func (p *Proxy) pipe(client net.Conn, id int64) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	target, err := net.DialTimeout("tcp", p.target, time.Second)
+	if err != nil {
+		return
+	}
+	// Keep the kernel windows small on both hops: the proxy exists to
+	// make faults observable, and fat autotuned socket buffers would let
+	// a fast sender park megabytes of frames that die unseen when a
+	// corruption kill severs the connection.
+	for _, c := range []net.Conn{client, target} {
+		if tc, ok := c.(*net.TCPConn); ok {
+			_ = tc.SetReadBuffer(32 << 10)
+			_ = tc.SetWriteBuffer(32 << 10)
+		}
+	}
+	if !p.track(target) {
+		return
+	}
+	defer p.untrack(target)
+	reverse := make(chan struct{})
+	go func() {
+		defer close(reverse)
+		_, _ = io.Copy(client, target)
+		// A dead target must not leave the mangler blocked on a read
+		// from a client that is waiting for the target to talk first.
+		_ = client.Close()
+	}()
+	p.mangle(client, target, rand.New(rand.NewSource(int64(p.cfg.Seed)+id)))
+	_ = target.Close()
+	<-reverse
+}
+
+// mangle is the frame pipeline: read one frame from src, roll the fault
+// dice, forward to dst. Anything that stops parsing as frames falls back
+// to a verbatim copy of the remaining stream.
+func (p *Proxy) mangle(src io.Reader, dst io.Writer, rng *rand.Rand) {
+	// One fixed-size buffer holds the largest legal frame; the length
+	// word is bounds-checked against it before any read, so a hostile
+	// or desynced length never drives an allocation.
+	buf := make([]byte, frameLenSize+maxFrameBody+frameCRCSize)
+	for {
+		hdr := buf[:frameLenSize]
+		if _, err := io.ReadFull(src, hdr); err != nil {
+			return
+		}
+		n := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+		if n < 1 || n > maxFrameBody {
+			// Desync: not our framing. Forward the stream untouched.
+			if _, err := dst.Write(hdr); err != nil {
+				return
+			}
+			_, _ = io.Copy(dst, src)
+			return
+		}
+		frame := buf[:frameLenSize+n+frameCRCSize]
+		if _, err := io.ReadFull(src, frame[frameLenSize:]); err != nil {
+			return
+		}
+		p.frames.Add(1)
+
+		if p.cfg.MaxDelay > 0 && rng.Float64() < p.cfg.DelayRate {
+			p.delayed.Add(1)
+			time.Sleep(time.Duration(rng.Int63n(int64(p.cfg.MaxDelay))))
+		}
+		if rng.Float64() < p.cfg.DropRate {
+			p.dropped.Add(1)
+			continue
+		}
+		if rng.Float64() < p.cfg.CorruptRate {
+			p.corrupted.Add(1)
+			bit := rng.Intn(len(frame) * 8)
+			frame[bit/8] ^= 1 << (bit % 8)
+		}
+		copies := 1
+		if rng.Float64() < p.cfg.DupRate {
+			p.duplicated.Add(1)
+			copies = 2
+		}
+		for c := 0; c < copies; c++ {
+			if rng.Float64() < p.cfg.SplitRate {
+				p.split.Add(1)
+				cut := 1 + rng.Intn(len(frame)-1)
+				if _, err := dst.Write(frame[:cut]); err != nil {
+					return
+				}
+				if _, err := dst.Write(frame[cut:]); err != nil {
+					return
+				}
+				continue
+			}
+			if _, err := dst.Write(frame); err != nil {
+				return
+			}
+		}
+	}
+}

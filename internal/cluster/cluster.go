@@ -80,6 +80,15 @@ type Config struct {
 	// fault the cluster does not tolerate — see DESIGN.md §8). 0 means
 	// 30s.
 	RetryDeadline time.Duration
+	// MaxUnacked caps each node's sent-but-unacknowledged batches: a
+	// worker flushing past the cap waits for acks before creating more.
+	// The window keeps the retry scan bounded when the transport is
+	// slower than the workers — without it a lossy, backpressured wire
+	// lets the unacked set (and with it the retransmission backlog)
+	// grow until retries arrive too late to beat RetryDeadline. 0 means
+	// 1024; negative means unbounded (the pre-window behavior, which
+	// perfect in-process transports never notice).
+	MaxUnacked int
 	// Watchdog is the stall-watchdog sampling period: every period with
 	// zero progress (no vertex update, no batch settled) increments
 	// Stats.StallWindows. 0 means 500ms; negative disables the watchdog.
@@ -128,6 +137,16 @@ func (c Config) batchSize() int {
 		return 64
 	}
 	return c.BatchSize
+}
+
+func (c Config) maxUnacked() int {
+	if c.MaxUnacked == 0 {
+		return 1024
+	}
+	if c.MaxUnacked < 0 {
+		return 0 // unbounded
+	}
+	return c.MaxUnacked
 }
 
 func (c Config) retryBase() time.Duration {

@@ -86,6 +86,7 @@ func (c *clusterRun[V, M]) FailNode(id int) error {
 		delete(n.unacked, bid)
 	}
 	n.unackedMu.Unlock()
+	n.releaseWindow(orphans)
 	if orphans > 0 {
 		c.sh0.Add(telemetry.CtrBatchesDropped, int64(orphans))
 		c.inflight.Add(int64(-orphans))

@@ -91,6 +91,14 @@ type node[V, M any] struct {
 	// at-least-once retry loop.
 	unackedMu sync.Mutex
 	unacked   map[uint64]*pending
+
+	// sendWindow is the MaxUnacked flow-control semaphore: flush
+	// acquires a slot per batch it registers, and every path that
+	// retires an unacked entry (first ack, dead-destination abandon,
+	// deadline failure, failover orphan sweep) releases one. nil means
+	// the window is unbounded. Safe against deadlock because acks are
+	// produced by appliers — goroutines that never wait on the window.
+	sendWindow chan struct{}
 }
 
 // pending is one unacknowledged batch awaiting its ack or retransmission.
@@ -150,6 +158,9 @@ func newCluster[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*
 			inbox:   make(chan Envelope, 1024),
 			down:    make(chan struct{}),
 			unacked: make(map[uint64]*pending),
+		}
+		if w := cfg.maxUnacked(); w > 0 {
+			c.nodes[i].sendWindow = make(chan struct{}, w)
 		}
 	}
 	c.liveNodes.Store(int64(cfg.Nodes))
@@ -489,6 +500,13 @@ func (c *clusterRun[V, M]) processBlock(n *node[V, M], b int, ws *workerState[V,
 // and inflight falls only when the ack comes back (or the destination
 // dies and the failover rebuild takes over the batch's duty).
 func (c *clusterRun[V, M]) flush(n *node[V, M], owner int, p *batch, sh *telemetry.Shard) {
+	if n.sendWindow != nil {
+		select {
+		case n.sendWindow <- struct{}{}: //abcdlint:ignore hotpath -- MaxUnacked flow control: one channel op per batch, amortized over BatchSize slot updates
+		case <-c.done:
+			return // shutdown: the batch dies with the run
+		}
+	}
 	now := time.Now()
 	e := Envelope{
 		kind:   envData,
@@ -588,6 +606,24 @@ func (c *clusterRun[V, M]) settle(n *node[V, M], id uint64) {
 	n.unackedMu.Unlock()
 	if ok {
 		c.inflight.Add(-1)
+		n.releaseWindow(1)
+	}
+}
+
+// releaseWindow returns k MaxUnacked slots after unacked entries retire.
+// Acquire and release are one-to-one with the unacked map, so the
+// non-blocking receive never actually misses; it only keeps a bookkeeping
+// bug from turning into a hang.
+func (n *node[V, M]) releaseWindow(k int) {
+	if n.sendWindow == nil {
+		return
+	}
+	for i := 0; i < k; i++ {
+		select {
+		case <-n.sendWindow:
+		default:
+			return
+		}
 	}
 }
 
@@ -654,6 +690,7 @@ func (c *clusterRun[V, M]) retryLoop(ctx context.Context) {
 			if abandoned > 0 {
 				c.sh0.Add(telemetry.CtrBatchesDropped, int64(abandoned))
 				c.inflight.Add(int64(-abandoned))
+				n.releaseWindow(abandoned)
 			}
 			for _, r := range due {
 				c.sh0.Add(telemetry.CtrBatchesRetried, 1)

@@ -1,0 +1,321 @@
+// Control-plane protocol for the -listen/-join distributed runtime: the
+// coordinator accepts one control connection per joiner and drives the
+// whole run over it — join, assignment, graph section distribution,
+// start, quiescence probing, and value collection. Every message is one
+// frame (frame.go); payload layouts are fixed-width little-endian like
+// the envelope codec in internal/cluster/wire.go.
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"time"
+)
+
+// Distributed-graph sanity bounds: a coordinator is operator-provided,
+// not hostile, but its header still caps what a joiner will allocate.
+const (
+	maxDistVertices = 1 << 31
+	maxDistEdges    = 1 << 35
+	maxDistNodes    = 1 << 12
+	maxCtrlAddr     = 256
+)
+
+// Section ids carried in fSection frames, in coordinator send order.
+const (
+	secDistInOff byte = iota
+	secDistInSrc
+	secDistInW
+	secDistOutOff
+	secDistOutDst
+	secDistOutPos
+	numDistSections
+)
+
+// Algorithm codes carried in fAssign.
+const (
+	algoPR byte = iota + 1
+	algoSSSP
+	algoBFS
+	algoCC
+)
+
+func algoCode(name string) (byte, error) {
+	switch name {
+	case "pr":
+		return algoPR, nil
+	case "sssp":
+		return algoSSSP, nil
+	case "bfs":
+		return algoBFS, nil
+	case "cc":
+		return algoCC, nil
+	}
+	return 0, fmt.Errorf("tcp: algorithm %q does not support distributed mode (pick pr, sssp, bfs, or cc)", name)
+}
+
+func algoName(code byte) string {
+	switch code {
+	case algoPR:
+		return "pr"
+	case algoSSSP:
+		return "sssp"
+	case algoBFS:
+		return "bfs"
+	case algoCC:
+		return "cc"
+	}
+	return fmt.Sprintf("algo%d", code)
+}
+
+// ctrlConn is one buffered control connection; reads and writes are
+// whole frames.
+type ctrlConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func newCtrlConn(c net.Conn) *ctrlConn {
+	return &ctrlConn{c: c, br: bufio.NewReaderSize(c, 64<<10), bw: bufio.NewWriterSize(c, 64<<10)}
+}
+
+func (cc *ctrlConn) write(frame []byte) error {
+	if _, err := cc.bw.Write(sealFrame(frame)); err != nil {
+		return err
+	}
+	return cc.bw.Flush()
+}
+
+// read returns the next frame body. An fError frame is surfaced as an
+// error carrying the peer's message — the protocol's failure channel.
+func (cc *ctrlConn) read() ([]byte, error) {
+	body, err := readFrame(cc.br)
+	if err != nil {
+		return nil, err
+	}
+	if body[0] == fError {
+		return nil, fmt.Errorf("tcp: peer failed: %s", string(body[1:]))
+	}
+	return body, nil
+}
+
+// expect reads the next frame and requires the given type.
+func (cc *ctrlConn) expect(typ byte) ([]byte, error) {
+	body, err := cc.read()
+	if err != nil {
+		return nil, err
+	}
+	if body[0] != typ {
+		return nil, fmt.Errorf("tcp: control protocol desync: frame type %d, want %d", body[0], typ)
+	}
+	return body, nil
+}
+
+// sendError best-effort reports a fatal error to the peer before the
+// connection dies.
+func (cc *ctrlConn) sendError(err error) {
+	f := newFrame(fError)
+	f = append(f, err.Error()...)
+	_ = cc.write(f)
+}
+
+// distAssign is the coordinator's complete run description for one
+// joiner: identity, topology, algorithm, engine tuning, and the data
+// addresses of every node.
+type distAssign struct {
+	node, nodes    int
+	n, m           int
+	blockSize      int
+	workersPerNode int
+	batchSize      int
+	maxUnacked     int
+	algo           byte
+	source         uint32
+	epsilon        float64
+	retryBase      time.Duration
+	retryDeadline  time.Duration
+	addrs          []string
+}
+
+func appendAssign(f []byte, a distAssign) []byte {
+	f = binary.LittleEndian.AppendUint32(f, uint32(a.node))
+	f = binary.LittleEndian.AppendUint32(f, uint32(a.nodes))
+	f = binary.LittleEndian.AppendUint64(f, uint64(a.n))
+	f = binary.LittleEndian.AppendUint64(f, uint64(a.m))
+	f = binary.LittleEndian.AppendUint32(f, uint32(a.blockSize))
+	f = binary.LittleEndian.AppendUint32(f, uint32(a.workersPerNode))
+	f = binary.LittleEndian.AppendUint32(f, uint32(a.batchSize))
+	f = binary.LittleEndian.AppendUint32(f, uint32(int32(a.maxUnacked)))
+	f = append(f, a.algo)
+	f = binary.LittleEndian.AppendUint32(f, a.source)
+	f = binary.LittleEndian.AppendUint64(f, uint64(int64(a.retryBase)))
+	f = binary.LittleEndian.AppendUint64(f, uint64(int64(a.retryDeadline)))
+	f = binary.LittleEndian.AppendUint64(f, floatBits(a.epsilon))
+	for _, addr := range a.addrs {
+		f = binary.LittleEndian.AppendUint16(f, uint16(len(addr)))
+		f = append(f, addr...)
+	}
+	return f
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// decodeAssign parses and validates an fAssign body (type byte removed).
+// Every decoded size is range-checked here, at the boundary, before any
+// downstream code allocates from it.
+func decodeAssign(b []byte) (distAssign, error) {
+	var a distAssign
+	const fixed = 4 + 4 + 8 + 8 + 4 + 4 + 4 + 4 + 1 + 4 + 8 + 8 + 8
+	if len(b) < fixed {
+		return a, fmt.Errorf("tcp: assign frame %d bytes, want at least %d", len(b), fixed)
+	}
+	a.node = int(binary.LittleEndian.Uint32(b[0:]))
+	a.nodes = int(binary.LittleEndian.Uint32(b[4:]))
+	a.n = int(binary.LittleEndian.Uint64(b[8:]))
+	a.m = int(binary.LittleEndian.Uint64(b[16:]))
+	a.blockSize = int(binary.LittleEndian.Uint32(b[24:]))
+	a.workersPerNode = int(binary.LittleEndian.Uint32(b[28:]))
+	a.batchSize = int(binary.LittleEndian.Uint32(b[32:]))
+	a.maxUnacked = int(int32(binary.LittleEndian.Uint32(b[36:]))) // signed: negative means unbounded
+	a.algo = b[40]
+	a.source = binary.LittleEndian.Uint32(b[41:])
+	a.retryBase = time.Duration(binary.LittleEndian.Uint64(b[45:]))
+	a.retryDeadline = time.Duration(binary.LittleEndian.Uint64(b[53:]))
+	a.epsilon = bitsFloat(binary.LittleEndian.Uint64(b[61:]))
+	switch {
+	case a.nodes < 1 || a.nodes > maxDistNodes:
+		return a, fmt.Errorf("tcp: assign nodes %d outside [1, %d]", a.nodes, maxDistNodes)
+	case a.node < 0 || a.node >= a.nodes:
+		return a, fmt.Errorf("tcp: assign node id %d outside [0, %d)", a.node, a.nodes)
+	case a.n < 1 || a.n > maxDistVertices:
+		return a, fmt.Errorf("tcp: assign vertex count %d outside [1, %d]", a.n, maxDistVertices)
+	case a.m < 0 || a.m > maxDistEdges:
+		return a, fmt.Errorf("tcp: assign edge count %d outside [0, %d]", a.m, maxDistEdges)
+	case a.blockSize < 1 || a.blockSize > a.n:
+		return a, fmt.Errorf("tcp: assign block size %d outside [1, %d]", a.blockSize, a.n)
+	case a.workersPerNode < 1 || a.workersPerNode > 1024:
+		return a, fmt.Errorf("tcp: assign workers per node %d outside [1, 1024]", a.workersPerNode)
+	case a.batchSize < 1 || a.batchSize > 1<<20:
+		return a, fmt.Errorf("tcp: assign batch size %d outside [1, 1<<20]", a.batchSize)
+	case a.maxUnacked < -1 || a.maxUnacked > 1<<20:
+		return a, fmt.Errorf("tcp: assign send window %d outside [-1, 1<<20]", a.maxUnacked)
+	case a.retryBase < 0 || a.retryDeadline < 0:
+		return a, fmt.Errorf("tcp: assign negative retry timing %v/%v", a.retryBase, a.retryDeadline)
+	case !(a.epsilon >= 0):
+		return a, fmt.Errorf("tcp: assign epsilon %g is negative or NaN", a.epsilon)
+	}
+	rest := b[fixed:]
+	a.addrs = make([]string, 0, presizeCap(a.nodes, 16))
+	for len(a.addrs) < a.nodes {
+		if len(rest) < 2 {
+			return a, fmt.Errorf("tcp: assign truncated at address %d/%d", len(a.addrs), a.nodes)
+		}
+		alen := int(binary.LittleEndian.Uint16(rest))
+		if alen < 1 || alen > maxCtrlAddr || len(rest) < 2+alen {
+			return a, fmt.Errorf("tcp: assign address %d length %d invalid", len(a.addrs), alen)
+		}
+		a.addrs = growEarned(a.addrs, 1, a.nodes)
+		a.addrs = append(a.addrs, string(rest[2:2+alen]))
+		rest = rest[2+alen:]
+	}
+	if len(rest) != 0 {
+		return a, fmt.Errorf("tcp: assign has %d trailing bytes", len(rest))
+	}
+	return a, nil
+}
+
+// sectionChunk is one fSection payload: a byte range of one snapshot
+// section, addressed by element index so the receiver can place slices
+// of the edge arrays at their owned offsets.
+type sectionChunk struct {
+	sec      byte
+	elemBase int64
+	payload  []byte
+}
+
+func appendSectionChunk(f []byte, c sectionChunk) []byte {
+	f = append(f, c.sec)
+	f = binary.LittleEndian.AppendUint64(f, uint64(c.elemBase))
+	return append(f, c.payload...)
+}
+
+func decodeSectionChunk(b []byte) (sectionChunk, error) {
+	var c sectionChunk
+	if len(b) < 9 {
+		return c, fmt.Errorf("tcp: section frame %d bytes, want at least 9", len(b))
+	}
+	c.sec = b[0]
+	if c.sec >= numDistSections {
+		return c, fmt.Errorf("tcp: unknown section id %d", c.sec)
+	}
+	c.elemBase = int64(binary.LittleEndian.Uint64(b[1:]))
+	if c.elemBase < 0 {
+		return c, fmt.Errorf("tcp: negative section base %d", c.elemBase)
+	}
+	c.payload = b[9:]
+	return c, nil
+}
+
+// probeReply is one node's termination accounting snapshot: monotone
+// sent/applied counters, exact inflight, and scheduler quiescence.
+type probeReply struct {
+	sent, applied uint64
+	inflight      int64
+	quiescent     bool
+}
+
+func appendProbeReply(f []byte, r probeReply) []byte {
+	f = binary.LittleEndian.AppendUint64(f, r.sent)
+	f = binary.LittleEndian.AppendUint64(f, r.applied)
+	f = binary.LittleEndian.AppendUint64(f, uint64(r.inflight))
+	q := byte(0)
+	if r.quiescent {
+		q = 1
+	}
+	return append(f, q)
+}
+
+func decodeProbeReply(b []byte) (probeReply, error) {
+	var r probeReply
+	if len(b) != 25 {
+		return r, fmt.Errorf("tcp: probe reply %d bytes, want 25", len(b))
+	}
+	r.sent = binary.LittleEndian.Uint64(b[0:])
+	r.applied = binary.LittleEndian.Uint64(b[8:])
+	r.inflight = int64(binary.LittleEndian.Uint64(b[16:]))
+	r.quiescent = b[24] == 1
+	return r, nil
+}
+
+// valuesChunk is one fValues payload: a contiguous run of vertex values
+// as raw codec words.
+type valuesChunk struct {
+	vlo   int64
+	words []byte // count*codecWords little-endian u64s
+}
+
+func appendValuesChunk(f []byte, c valuesChunk) []byte {
+	f = binary.LittleEndian.AppendUint64(f, uint64(c.vlo))
+	return append(f, c.words...)
+}
+
+func decodeValuesChunk(b []byte) (valuesChunk, error) {
+	var c valuesChunk
+	if len(b) < 8 {
+		return c, fmt.Errorf("tcp: values frame %d bytes, want at least 8", len(b))
+	}
+	c.vlo = int64(binary.LittleEndian.Uint64(b[0:]))
+	if c.vlo < 0 {
+		return c, fmt.Errorf("tcp: negative values base %d", c.vlo)
+	}
+	if len(b[8:])%8 != 0 {
+		return c, fmt.Errorf("tcp: values payload %d bytes, not word-aligned", len(b[8:]))
+	}
+	c.words = b[8:]
+	return c, nil
+}

@@ -1,0 +1,92 @@
+package tcp
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"strings"
+	"testing"
+)
+
+func frameFixture() []byte {
+	b := newFrame(fSection)
+	b = append(b, []byte("payload-bytes")...)
+	return sealFrame(b)
+}
+
+// TestFrameGolden pins the byte-level frame format: length prefix, type
+// byte, body, IEEE CRC of the body. A format change must update this
+// string knowingly.
+func TestFrameGolden(t *testing.T) {
+	const golden = "0e000000" + // body length: 1 type byte + 13 payload
+		"04" + // fSection
+		"7061796c6f61642d6279746573" + // "payload-bytes"
+		"2a064ba3" // crc32("\x04payload-bytes")
+	if got := hex.EncodeToString(frameFixture()); got != golden {
+		t.Fatalf("frame encoding drifted:\n got  %s\n want %s", got, golden)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	// A stream of several frames, including a minimal one-byte body and
+	// a large body, must come back intact and in order.
+	big := newFrame(fValues)
+	for i := 0; i < 100000; i++ {
+		big = append(big, byte(i), byte(i>>8))
+	}
+	var stream bytes.Buffer
+	frames := [][]byte{frameFixture(), sealFrame(newFrame(fDone)), sealFrame(big)}
+	for _, f := range frames {
+		stream.Write(f)
+	}
+	r := bytes.NewReader(stream.Bytes())
+	for i, f := range frames {
+		body, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if want := f[frameLenSize : len(f)-frameCRCSize]; !bytes.Equal(body, want) {
+			t.Fatalf("frame %d body mismatch", i)
+		}
+	}
+	if _, err := readFrame(r); err != io.EOF {
+		t.Fatalf("exhausted stream should yield io.EOF, got %v", err)
+	}
+}
+
+// TestFrameTruncation feeds every strict prefix of a valid frame to the
+// reader; all of them must error, none may panic or hang.
+func TestFrameTruncation(t *testing.T) {
+	f := frameFixture()
+	for n := 0; n < len(f); n++ {
+		if _, err := readFrame(bytes.NewReader(f[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes read without error", n, len(f))
+		}
+	}
+}
+
+// TestFrameBitflip flips one bit in every CRC-protected byte (body and
+// trailing checksum); CRC32 detects all single-bit errors, so each flip
+// must be rejected.
+func TestFrameBitflip(t *testing.T) {
+	f := frameFixture()
+	for pos := frameLenSize; pos < len(f); pos++ {
+		m := bytes.Clone(f)
+		m[pos] ^= 0x40
+		if _, err := readFrame(bytes.NewReader(m)); err == nil {
+			t.Fatalf("bitflip at byte %d read without error", pos)
+		} else if !strings.Contains(err.Error(), "crc") {
+			t.Fatalf("bitflip at byte %d: want a crc error, got %v", pos, err)
+		}
+	}
+}
+
+func TestFrameRejectsHostileLength(t *testing.T) {
+	for _, n := range []uint32{0, maxFrameBody + 1, 1 << 31, 0xffffffff} {
+		hdr := []byte{byte(n), byte(n >> 8), byte(n >> 16), byte(n >> 24)}
+		in := append(hdr, bytes.Repeat([]byte{0xab}, 64)...)
+		if _, err := readFrame(bytes.NewReader(in)); err == nil {
+			t.Fatalf("claimed length %d accepted", n)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package tcp
+
+import (
+	"bytes"
+	"testing"
+
+	"graphabcd/internal/cluster"
+)
+
+// FuzzFrameDecode throws hostile bytes at the frame reader and, when a
+// frame survives the CRC, at the envelope decoder behind it. Neither may
+// panic, and an accepted frame must re-seal to the exact bytes consumed
+// — which also proves the reader never fabricates payload it was not
+// given.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(frameFixture())
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	env := newFrame(fEnvelope)
+	env = cluster.AppendEnvelope(env, cluster.NewAck(1, 42))
+	f.Add(sealFrame(env))
+	// A frame claiming the maximum body with almost no bytes behind it:
+	// the reader must fail on truncation without allocating the claim.
+	f.Add([]byte{0x00, 0x00, 0x10, 0x00, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r := bytes.NewReader(b)
+		body, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		if len(body) < 1 || len(body) > maxFrameBody {
+			t.Fatalf("accepted body of %d bytes", len(body))
+		}
+		consumed := len(b) - r.Len()
+		resealed := sealFrame(append(make([]byte, frameLenSize, frameLenSize+len(body)+frameCRCSize), body...))
+		if !bytes.Equal(resealed, b[:consumed]) {
+			t.Fatalf("re-seal mismatch:\n in  %x\n out %x", b[:consumed], resealed)
+		}
+		if body[0] == fEnvelope {
+			if _, err := cluster.DecodeEnvelope(body[1:]); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -87,17 +87,82 @@ func ParseSnapshotHeader(hdr []byte) (n, m int64, compressed bool, err error) {
 	return int64(un), int64(um), compressed, nil
 }
 
+// SnapshotLayout holds the absolute byte offset of every section payload
+// inside a plain (uncompressed) snapshot. The fixed section order and
+// fixed-width plain encoding make all six computable from (V, E) without
+// reading the file, which is what lets the snapshot double as a
+// positioned-read store: the edge store preads edge ranges, and the
+// cluster coordinator sends a joining node only its own blocks' slices of
+// each section.
+type SnapshotLayout struct {
+	InOff  int64 // (n+1) little-endian u64 CSC offsets
+	InSrc  int64 // m little-endian u32 in-edge sources
+	InW    int64 // m little-endian f32 weights
+	OutOff int64 // (n+1) little-endian u64 CSR offsets
+	OutDst int64 // m little-endian u32 out-edge destinations
+	OutPos int64 // m little-endian u64 out-edge CSC slots
+}
+
+// SnapshotSectionLayout computes the plain-snapshot payload offsets for an
+// n-vertex, m-edge graph.
+func SnapshotSectionLayout(n, m int) SnapshotLayout {
+	offLen, idLen, posLen := int64(n+1)*8, int64(m)*4, int64(m)*8
+	next := int64(snapshotHeaderLen)
+	sec := func(payloadLen int64) int64 {
+		off := next + snapshotSecHdrLen
+		next = off + payloadLen + snapshotCRCLen
+		return off
+	}
+	return SnapshotLayout{
+		InOff:  sec(offLen),
+		InSrc:  sec(idLen),
+		InW:    sec(idLen),
+		OutOff: sec(offLen),
+		OutDst: sec(idLen),
+		OutPos: sec(posLen),
+	}
+}
+
 // SnapshotEdgeSections returns the absolute byte offsets of the inSrc and
 // inW section payloads inside a plain (uncompressed) snapshot of an
-// n-vertex, m-edge graph. The fixed section order and fixed-width plain
-// encoding make both computable without reading the file; the snapshot-
-// backed edge store preads edge ranges directly at these offsets.
+// n-vertex, m-edge graph; the snapshot-backed edge store preads edge
+// ranges directly at these offsets.
 func SnapshotEdgeSections(n, m int) (srcOff, wOff int64) {
-	srcOff = snapshotHeaderLen +
-		snapshotSecHdrLen + int64(n+1)*8 + snapshotCRCLen + // inOff section
-		snapshotSecHdrLen
-	wOff = srcOff + int64(m)*4 + snapshotCRCLen + snapshotSecHdrLen
-	return srcOff, wOff
+	l := SnapshotSectionLayout(n, m)
+	return l.InSrc, l.InW
+}
+
+// FromSections assembles a Graph from decoded plain-snapshot section
+// arrays, applying the same validation ReadSnapshot performs: array
+// lengths, offset monotonicity spanning [0, m], and every cross-array
+// invariant a hostile input could break. It exists for engines that
+// receive sections over a transport rather than from a file — a cluster
+// joiner populates only its owned slices of the edge arrays (the rest
+// stay zero, which validates trivially and is never read, because a node
+// only gathers and scatters over its own blocks' edges).
+func FromSections(n, m int, inOff []int64, inSrc []uint32, inW []float32,
+	outOff []int64, outDst []uint32, outPos []int64) (*Graph, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: sections describe V=%d E=%d", n, m)
+	}
+	if len(inSrc) != m || len(inW) != m || len(outDst) != m || len(outPos) != m {
+		return nil, fmt.Errorf("graph: section lengths inSrc=%d inW=%d outDst=%d outPos=%d, want E=%d",
+			len(inSrc), len(inW), len(outDst), len(outPos), m)
+	}
+	for _, off := range [2][]int64{inOff, outOff} {
+		if len(off) != n+1 {
+			return nil, fmt.Errorf("graph: offset section has %d entries, want %d", len(off), n+1)
+		}
+		if off[0] != 0 || off[n] != int64(m) {
+			return nil, fmt.Errorf("graph: offsets span [%d,%d], want [0,%d]", off[0], off[n], m)
+		}
+		for v := 0; v < n; v++ {
+			if off[v] > off[v+1] {
+				return nil, fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+			}
+		}
+	}
+	return newFromArrays(n, m, inOff, inSrc, inW, outOff, outDst, outPos)
 }
 
 // WriteSnapshot writes g in the plain snapshot format: fixed-width

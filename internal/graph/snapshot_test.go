@@ -193,6 +193,76 @@ func leU32(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
+func leU64(b []byte) uint64 {
+	return uint64(leU32(b)) | uint64(leU32(b[4:]))<<32
+}
+
+// TestSnapshotSectionLayout cross-checks every computed payload offset
+// against the bytes an actual WriteSnapshot produced: each section decoded
+// straight out of the buffer at its claimed offset must equal the
+// in-memory array.
+func TestSnapshotSectionLayout(t *testing.T) {
+	g := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	l := SnapshotSectionLayout(g.NumVertices(), g.NumEdges())
+	for v := 0; v <= g.NumVertices(); v++ {
+		if got := int64(leU64(full[l.InOff+int64(v)*8:])); got != g.inOff[v] {
+			t.Fatalf("inOff[%d] pread %d, want %d", v, got, g.inOff[v])
+		}
+		if got := int64(leU64(full[l.OutOff+int64(v)*8:])); got != g.outOff[v] {
+			t.Fatalf("outOff[%d] pread %d, want %d", v, got, g.outOff[v])
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if got := leU32(full[l.InSrc+int64(i)*4:]); got != g.inSrc[i] {
+			t.Fatalf("inSrc[%d] pread %d, want %d", i, got, g.inSrc[i])
+		}
+		if got := math.Float32frombits(leU32(full[l.InW+int64(i)*4:])); got != g.inW[i] {
+			t.Fatalf("inW[%d] pread %g, want %g", i, got, g.inW[i])
+		}
+		if got := leU32(full[l.OutDst+int64(i)*4:]); got != g.outDst[i] {
+			t.Fatalf("outDst[%d] pread %d, want %d", i, got, g.outDst[i])
+		}
+		if got := int64(leU64(full[l.OutPos+int64(i)*8:])); got != g.outPos[i] {
+			t.Fatalf("outPos[%d] pread %d, want %d", i, got, g.outPos[i])
+		}
+	}
+	srcOff, wOff := SnapshotEdgeSections(g.NumVertices(), g.NumEdges())
+	if srcOff != l.InSrc || wOff != l.InW {
+		t.Fatalf("SnapshotEdgeSections (%d,%d) disagrees with layout (%d,%d)", srcOff, wOff, l.InSrc, l.InW)
+	}
+}
+
+// TestFromSections rebuilds the fixture from its own section arrays and
+// checks the validation rejects inconsistent inputs.
+func TestFromSections(t *testing.T) {
+	g := snapshotFixture(t)
+	got, err := FromSections(g.n, g.m, g.inOff, g.inSrc, g.inW, g.outOff, g.outDst, g.outPos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameLayout(t, g, got)
+
+	short := g.inOff[:g.n] // wrong length
+	if _, err := FromSections(g.n, g.m, short, g.inSrc, g.inW, g.outOff, g.outDst, g.outPos); err == nil {
+		t.Fatal("short offset array accepted")
+	}
+	bad := append([]int64(nil), g.inOff...)
+	bad[1], bad[2] = bad[2]+1, bad[1] // non-monotone
+	if _, err := FromSections(g.n, g.m, bad, g.inSrc, g.inW, g.outOff, g.outDst, g.outPos); err == nil {
+		t.Fatal("non-monotone offsets accepted")
+	}
+	badSrc := append([]uint32(nil), g.inSrc...)
+	badSrc[0] = uint32(g.n)
+	if _, err := FromSections(g.n, g.m, g.inOff, badSrc, g.inW, g.outOff, g.outDst, g.outPos); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
 func TestLoadSaveFormats(t *testing.T) {
 	g := snapshotFixture(t)
 	dir := t.TempDir()

@@ -16,6 +16,9 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "== snapshot round-trip smoke"
     go test -count=1 -run 'Snapshot|LoadSaveFormats|BuilderEquivalence' \
         ./internal/graph ./internal/edgestore
+    echo "== wire frame round-trip smoke"
+    go test -count=1 -run 'Frame|Envelope' \
+        ./internal/cluster ./internal/cluster/tcp
     echo "Smoke checks passed."
     exit 0
 fi
@@ -65,8 +68,19 @@ go test -race -short ./...
 echo "== go test (full, no detector)"
 go test -count=1 ./...
 
+echo "== fuzz corpora seeds (no -fuzz; replays the checked-in seeds)"
+go test -count=1 -run 'Fuzz' \
+    ./internal/cluster ./internal/cluster/tcp ./internal/edgestore \
+    ./internal/graph ./internal/word
+
 echo "== chaos suite (seeded fault injection, race detector)"
 go test -race -count=1 -timeout 90s ./internal/chaos
+
+echo "== socket chaos suite (TCP transport + mangling proxy, race detector)"
+# Full suite, not -short: this is the gate for the PageRank equivalence
+# run through the 20% drop / 10% dup / corrupting proxy and the slow
+# distributed loopback + two-process runs.
+go test -race -count=1 -timeout 600s ./internal/cluster/tcp ./internal/chaos/netproxy
 
 echo "== bench smoke (tier-1 perf set, 1 iteration, small shrink)"
 ./scripts/bench.sh --smoke
