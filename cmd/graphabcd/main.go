@@ -28,6 +28,17 @@
 //
 //	graphabcd -algo cc -dataset WT -nodes 3 -listen 127.0.0.1:7001   # coordinator
 //	graphabcd -join 127.0.0.1:7001                                   # joiner ×2
+//
+// -ckpt-dir makes long runs crash-safe: the engine (or, under -listen,
+// the whole cluster) periodically writes committed checkpoint epochs
+// there, and -resume restarts from the last committed epoch instead of
+// from scratch. -record-schedule captures an async run's block schedule
+// for -replay-schedule to re-execute deterministically:
+//
+//	graphabcd -algo pr -dataset LJ -ckpt-dir /ckpt -ckpt-interval 30s
+//	graphabcd -algo pr -dataset LJ -ckpt-dir /ckpt -resume latest
+//	graphabcd -algo pr -dataset LJ -record-schedule run.gabr
+//	graphabcd -algo pr -dataset LJ -replay-schedule run.gabr
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"path/filepath"
@@ -44,6 +56,7 @@ import (
 	"graphabcd/internal/accel"
 	"graphabcd/internal/bcd"
 	"graphabcd/internal/chaos"
+	"graphabcd/internal/checkpoint"
 	"graphabcd/internal/cluster"
 	"graphabcd/internal/cluster/tcp"
 	"graphabcd/internal/core"
@@ -98,6 +111,13 @@ func run() error {
 		listenAddr = flag.String("listen", "", "run as the TCP cluster coordinator on this address; waits for -nodes minus one joiners")
 		joinAddr   = flag.String("join", "", "join a TCP cluster coordinator at this address (all other run flags come from it)")
 		valuesOut  = flag.String("values-out", "", "coordinator: write the converged per-vertex values to this file, one per line")
+
+		ckptDir      = flag.String("ckpt-dir", "", "write committed checkpoint epochs to this directory (single-node and -listen runs)")
+		ckptInterval = flag.Duration("ckpt-interval", 5*time.Second, "checkpoint period (needs -ckpt-dir)")
+		runID        = flag.String("run-id", "", "checkpoint run id (default: derived from the algorithm and graph)")
+		resume       = flag.String("resume", "", "resume from a committed checkpoint: a run id, or 'latest' (needs -ckpt-dir)")
+		recordPath   = flag.String("record-schedule", "", "record the async block schedule to this file for -replay-schedule")
+		replayPath   = flag.String("replay-schedule", "", "deterministically re-execute a schedule recorded by -record-schedule")
 
 		useTel      = flag.Bool("telemetry", false, "enable stage histograms and the post-run telemetry report")
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of sampled block lifecycles to this file")
@@ -180,15 +200,19 @@ func run() error {
 
 	if *listenAddr != "" {
 		err := runListen(ctx, g, *listenAddr, *valuesOut, distOpts{
-			tel:       telReg,
-			algo:      *algo,
-			src:       src,
-			top:       *top,
-			nodes:     *nodes,
-			blockSize: blockSize,
-			wpn:       *wpn,
-			batch:     *batch,
-			eps:       *eps,
+			tel:          telReg,
+			algo:         *algo,
+			src:          src,
+			top:          *top,
+			nodes:        *nodes,
+			blockSize:    blockSize,
+			wpn:          *wpn,
+			batch:        *batch,
+			eps:          *eps,
+			ckptDir:      *ckptDir,
+			ckptInterval: *ckptInterval,
+			runID:        *runID,
+			resume:       *resume,
 		})
 		if tses != nil {
 			tses.finish()
@@ -197,6 +221,9 @@ func run() error {
 	}
 
 	if *nodes > 1 {
+		if *ckptDir != "" || *resume != "" {
+			return fmt.Errorf("the in-process cluster engine does not checkpoint; use -listen for a crash-safe distributed run")
+		}
 		err := runDistributed(ctx, g, distOpts{
 			tel:       telReg,
 			algo:      *algo,
@@ -258,6 +285,32 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
+	cfg.Checkpoint = core.Checkpoint{Dir: *ckptDir, RunID: *runID, Resume: *resume}
+	if *ckptDir != "" {
+		cfg.Checkpoint.Interval = *ckptInterval
+	}
+	var schedule []uint32
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			return err
+		}
+		nb := (g.NumVertices() + blockSize - 1) / blockSize
+		schedule, err = checkpoint.ReadSchedule(f, nb)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replaying %d scheduled blocks from %s\n", len(schedule), *replayPath)
+	}
+	var recFile *os.File
+	if *recordPath != "" && schedule == nil {
+		if recFile, err = os.Create(*recordPath); err != nil {
+			return err
+		}
+		defer func() { _ = recFile.Close() }() // double close on success is harmless
+		cfg.RecordSchedule = recFile
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -279,14 +332,14 @@ func run() error {
 	var stats core.Stats
 	switch *algo {
 	case "pr":
-		res, err := core.RunContext[float64, float64](ctx, g, bcd.PageRank{}, cfg)
+		res, err := runCore[float64, float64](ctx, g, bcd.PageRank{}, cfg, schedule)
 		if err != nil {
 			return err
 		}
 		stats = res.Stats
 		printTopFloat(res.Values, *top, "rank")
 	case "sssp":
-		res, err := core.RunContext[float64, float64](ctx, g, bcd.SSSP{Source: src}, cfg)
+		res, err := runCore[float64, float64](ctx, g, bcd.SSSP{Source: src}, cfg, schedule)
 		if err != nil {
 			return err
 		}
@@ -294,14 +347,14 @@ func run() error {
 		fmt.Printf("source: %d\n", src)
 		printTopFloat(res.Values, *top, "dist")
 	case "bfs":
-		res, err := core.RunContext[uint64, uint64](ctx, g, bcd.BFS{Source: src}, cfg)
+		res, err := runCore[uint64, uint64](ctx, g, bcd.BFS{Source: src}, cfg, schedule)
 		if err != nil {
 			return err
 		}
 		stats = res.Stats
 		fmt.Printf("source: %d, reached: %d\n", src, countReached(res.Values))
 	case "cc":
-		res, err := core.RunContext[uint64, uint64](ctx, g, bcd.CC{}, cfg)
+		res, err := runCore[uint64, uint64](ctx, g, bcd.CC{}, cfg, schedule)
 		if err != nil {
 			return err
 		}
@@ -311,7 +364,7 @@ func run() error {
 		if cfg.MaxEpochs == 0 {
 			cfg.MaxEpochs = 50
 		}
-		res, err := core.RunContext[uint64, bcd.LPAccum](ctx, g, bcd.LabelProp{}, cfg)
+		res, err := runCore[uint64, bcd.LPAccum](ctx, g, bcd.LabelProp{}, cfg, schedule)
 		if err != nil {
 			return err
 		}
@@ -322,7 +375,7 @@ func run() error {
 			cfg.MaxEpochs = 20
 		}
 		params := bcd.CF{Rank: *rank, LearnRate: 0.3, Lambda: 0.01, Seed: 7}
-		res, err := core.RunContext[[]float32, []float64](ctx, g, params, cfg)
+		res, err := runCore[[]float32, []float64](ctx, g, params, cfg, schedule)
 		if err != nil {
 			return err
 		}
@@ -341,29 +394,65 @@ func run() error {
 		fmt.Printf("sim time: %.3f ms\nbus util: %.1f%%\nPE util: %.1f%%\nbus bytes: %d\n",
 			stats.SimTimeNs/1e6, 100*sim.BusUtilization(), 100*sim.PEUtilization(), sim.BusBytes())
 	}
+	if recFile != nil {
+		// The engine already flushed the recorder; the file close is the
+		// last durability step and its error must not pass silently.
+		if err := recFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("schedule: %s\n", *recordPath)
+	}
 	if tses != nil {
 		tses.finish()
 	}
 	return nil
 }
 
+// runCore executes one single-node run — live via the engine, or a
+// deterministic replay when a recorded schedule is supplied.
+func runCore[V, M any](ctx context.Context, g *graph.Graph, prog bcd.Program[V, M], cfg core.Config, schedule []uint32) (*core.Result[V], error) {
+	if schedule == nil {
+		return core.RunContext[V, M](ctx, g, prog, cfg)
+	}
+	rr, err := core.ReplaySchedule[V, M](ctx, g, prog, cfg, schedule)
+	if err != nil {
+		return nil, err
+	}
+	// The residual trace is the replay's fingerprint: two replays of the
+	// same schedule print bit-identical lines.
+	for i, r := range rr.Residuals {
+		if i >= 8 && i < len(rr.Residuals)-1 {
+			if i == 8 {
+				fmt.Printf("residual ...\n")
+			}
+			continue
+		}
+		fmt.Printf("residual after epoch %d: %.17g\n", i+1, r)
+	}
+	return rr.Result, nil
+}
+
 // distOpts carries the distributed-run flag values.
 type distOpts struct {
-	tel       *telemetry.Registry
-	algo      string
-	src       uint32
-	top       int
-	nodes     int
-	blockSize int
-	wpn       int
-	batch     int
-	eps       float64
-	maxEpochs float64
-	drop, dup float64
-	delay     time.Duration
-	seed      uint64
-	failNode  int
-	failAfter int64
+	tel          *telemetry.Registry
+	algo         string
+	src          uint32
+	top          int
+	nodes        int
+	blockSize    int
+	wpn          int
+	batch        int
+	eps          float64
+	maxEpochs    float64
+	drop, dup    float64
+	delay        time.Duration
+	seed         uint64
+	failNode     int
+	failAfter    int64
+	ckptDir      string
+	ckptInterval time.Duration
+	runID        string
+	resume       string
 }
 
 // runListen runs the coordinator side of a TCP cluster: the loaded graph
@@ -387,14 +476,18 @@ func runListen(ctx context.Context, g *graph.Graph, addr, valuesOut string, o di
 	defer func() { _ = ctrl.Close() }()
 	fmt.Printf("coordinating %d nodes on %s (%d joiners expected)\n", o.nodes, ctrl.Addr(), o.nodes-1)
 	res, err := tcp.Serve(ctx, ctrl, snapPath, tcp.DistConfig{
-		Nodes:          o.nodes,
-		Algo:           o.algo,
-		Source:         o.src,
-		BlockSize:      o.blockSize,
-		WorkersPerNode: o.wpn,
-		BatchSize:      o.batch,
-		Epsilon:        o.eps,
-		Telemetry:      o.tel,
+		Nodes:              o.nodes,
+		Algo:               o.algo,
+		Source:             o.src,
+		BlockSize:          o.blockSize,
+		WorkersPerNode:     o.wpn,
+		BatchSize:          o.batch,
+		Epsilon:            o.eps,
+		Telemetry:          o.tel,
+		CheckpointDir:      o.ckptDir,
+		CheckpointInterval: o.ckptInterval,
+		RunID:              o.runID,
+		Resume:             o.resume,
 	})
 	if err != nil {
 		return err
@@ -421,28 +514,24 @@ func runListen(ctx context.Context, g *graph.Graph, addr, valuesOut string, o di
 }
 
 // writeValues dumps the converged values one per line, floats with full
-// round-trip precision so runs can be compared exactly.
+// round-trip precision so runs can be compared exactly. The write is
+// crash-atomic (temp file + sync + rename): a run killed mid-write
+// leaves the previous file intact, never a truncated mix.
 func writeValues(path string, res *tcp.DistResult) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	// bufio's error is sticky: a failed write here surfaces at Flush.
-	w := bufio.NewWriter(f)
-	if res.Float != nil {
-		for _, v := range res.Float {
-			_, _ = fmt.Fprintf(w, "%.17g\n", v)
+	return checkpoint.AtomicWriteFile(path, func(out io.Writer) error {
+		// bufio's error is sticky: a failed write here surfaces at Flush.
+		w := bufio.NewWriter(out)
+		if res.Float != nil {
+			for _, v := range res.Float {
+				_, _ = fmt.Fprintf(w, "%.17g\n", v)
+			}
+		} else {
+			for _, v := range res.Uint {
+				_, _ = fmt.Fprintf(w, "%d\n", v)
+			}
 		}
-	} else {
-		for _, v := range res.Uint {
-			_, _ = fmt.Fprintf(w, "%d\n", v)
-		}
-	}
-	if err := w.Flush(); err != nil {
-		_ = f.Close()
-		return err
-	}
-	return f.Close()
+		return w.Flush()
+	})
 }
 
 // runDistributed executes pr/sssp/bfs/cc on the cluster engine, wiring up

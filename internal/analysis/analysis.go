@@ -163,7 +163,7 @@ func DefaultConfig() *Config {
 			"internal/accel:RunGather",
 		},
 		ErrcheckIgnoreDeferredClose: true,
-		BoundAllocPkgs:              []string{"internal/edgestore", "internal/graph", "internal/cluster", "internal/chaos/netproxy"},
+		BoundAllocPkgs:              []string{"internal/edgestore", "internal/graph", "internal/cluster", "internal/chaos/netproxy", "internal/checkpoint"},
 		BoundAllocClamps:            []string{"presizeCap", "growEarned"},
 		GoroutineOwnedPkgs:          []string{"/cmd/", "internal/telemetry"},
 	}

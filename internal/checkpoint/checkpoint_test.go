@@ -1,0 +1,353 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testState builds a plausible two-node shard's state.
+func testState() *State {
+	st := &State{
+		NumVertices: 100, NumBlocks: 10, Words: 1,
+		Node: 1, Nodes: 2,
+		VertexLo: 50, VertexHi: 100,
+		BlockLo: 5, BlockHi: 10,
+		SlotBase: 333,
+		Values:   make([]uint64, 50),
+		Priority: make([]uint64, 5),
+		Active:   []byte{1, 0, 1, 1, 0},
+		Stamps:   make([]uint64, 17),
+		Counters: Counters{VertexUpdates: 12345, BlockUpdates: 67, EdgesTraversed: 89012, Seq: 999},
+	}
+	for i := range st.Values {
+		st.Values[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	for i := range st.Priority {
+		st.Priority[i] = math.Float64bits(float64(i) * 1.5)
+	}
+	for i := range st.Stamps {
+		st.Stamps[i] = uint64(1000 + i)
+	}
+	return st
+}
+
+func encodeState(t *testing.T, st *State) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	want := testState()
+	raw := encodeState(t, want)
+	got, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices != want.NumVertices || got.NumBlocks != want.NumBlocks ||
+		got.Words != want.Words || got.Node != want.Node || got.Nodes != want.Nodes {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.VertexLo != want.VertexLo || got.VertexHi != want.VertexHi ||
+		got.BlockLo != want.BlockLo || got.BlockHi != want.BlockHi || got.SlotBase != want.SlotBase {
+		t.Fatalf("ranges mismatch: %+v", got)
+	}
+	if got.Counters != want.Counters {
+		t.Fatalf("counters = %+v, want %+v", got.Counters, want.Counters)
+	}
+	if !bytes.Equal(got.Active, want.Active) {
+		t.Fatalf("active = %v, want %v", got.Active, want.Active)
+	}
+	for name, pair := range map[string][2][]uint64{
+		"values":   {got.Values, want.Values},
+		"priority": {got.Priority, want.Priority},
+		"stamps":   {got.Stamps, want.Stamps},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s length %d, want %d", name, len(pair[0]), len(pair[1]))
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s[%d] = %#x, want %#x", name, i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+}
+
+// TestCheckpointDecodeBitflips: every single-bit flip of a valid state
+// file must either decode to the identical state (flips inside ignored
+// reserved bits) or fail — never panic, never return silently different
+// state. CRC coverage makes "identical or refused" the only outcomes.
+func TestCheckpointDecodeBitflips(t *testing.T) {
+	raw := encodeState(t, testState())
+	// Flip one bit per byte position; every byte of this small file is
+	// covered without a 8x blowup in test time.
+	for i := range raw {
+		mut := bytes.Clone(raw)
+		mut[i] ^= 1 << (i % 8)
+		st, err := Decode(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		// A surviving decode must be byte-identical on re-encode.
+		var re bytes.Buffer
+		if err := Encode(&re, st); err != nil {
+			t.Fatalf("flip at %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(re.Bytes(), raw) {
+			t.Fatalf("flip at byte %d decoded to different state without an error", i)
+		}
+	}
+}
+
+// TestCheckpointDecodeTruncations: every prefix of a valid file must be
+// refused (torn write detection).
+func TestCheckpointDecodeTruncations(t *testing.T) {
+	raw := encodeState(t, testState())
+	for l := 0; l < len(raw); l++ {
+		if _, err := Decode(bytes.NewReader(raw[:l])); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", l, len(raw))
+		}
+	}
+}
+
+func TestCheckpointEncodeRejectsInvalid(t *testing.T) {
+	bad := testState()
+	bad.Priority[0] = math.Float64bits(math.NaN())
+	if err := Encode(io.Discard, bad); err == nil {
+		t.Fatal("encode accepted a NaN priority")
+	}
+	bad = testState()
+	bad.Active[0] = 2
+	if err := Encode(io.Discard, bad); err == nil {
+		t.Fatal("encode accepted an active flag of 2")
+	}
+	bad = testState()
+	bad.Values = bad.Values[:1]
+	if err := Encode(io.Discard, bad); err == nil {
+		t.Fatal("encode accepted a short values array")
+	}
+}
+
+func TestDirStoreCommitAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := testState()
+	manifest := func(run string, epoch uint64, ms int64) *Manifest {
+		return &Manifest{
+			RunID: run, Epoch: epoch, Nodes: 2, Program: "pr",
+			GraphDigest: "abc", ConfigHash: "def",
+			NumVertices: 100, NumBlocks: 10, SavedUnixMs: ms,
+		}
+	}
+	for node := 0; node < 2; node++ {
+		if err := store.WriteState("run-a", 1, node, func(w io.Writer) error { return Encode(w, st) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Before Commit there is nothing to resume.
+	if _, err := store.Load("run-a"); err == nil {
+		t.Fatal("Load succeeded before Commit")
+	}
+	if err := store.Commit(manifest("run-a", 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.Load("run-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 1 || m.Program != "pr" {
+		t.Fatalf("manifest = %+v", m)
+	}
+	rc, err := store.ReadState("run-a", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(rc)
+	_ = rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters != st.Counters {
+		t.Fatalf("state counters = %+v, want %+v", got.Counters, st.Counters)
+	}
+	// Latest picks the newest committed run across run ids.
+	if err := store.Commit(manifest("run-b", 3, 200)); err != nil {
+		t.Fatal(err)
+	}
+	latest, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.RunID != "run-b" || latest.Epoch != 3 {
+		t.Fatalf("latest = %+v, want run-b epoch 3", latest)
+	}
+	// Hostile run ids never touch the filesystem.
+	if _, err := store.Load("../escape"); err == nil {
+		t.Fatal("Load accepted a path-traversal run id")
+	}
+	if err := store.WriteState("a/b", 1, 0, func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("WriteState accepted a separator in the run id")
+	}
+}
+
+// TestDirStoreRefusesTornState: corrupting a committed state file makes
+// the resume read fail, it does not resume garbage.
+func TestDirStoreRefusesTornState(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := testState()
+	if err := store.WriteState("run", 1, 0, func(w io.Writer) error { return Encode(w, st) }); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "run", stateFileName(1, 0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-values: the classic torn write.
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := store.ReadState("run", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rc.Close() }()
+	if _, err := Decode(rc); err == nil {
+		t.Fatal("decode of a truncated state file succeeded")
+	}
+}
+
+// TestAtomicWriteFile: a failed write leaves the previous content intact
+// and no temp litter behind.
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("mid-write crash")
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "second, partial"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first\n" {
+		t.Fatalf("target holds %q after failed rewrite, want the previous content", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("temp litter after failed write: %v", names)
+	}
+}
+
+func TestScheduleRecorderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewScheduleRecorder(&buf)
+	const nIDs = 100000 // several ring wraps, exercising the flusher race
+	for i := 0; i < nIDs; i++ {
+		rec.Record(i % 64)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := ReadSchedule(bytes.NewReader(buf.Bytes()), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != nIDs {
+		t.Fatalf("read %d ids, want %d", len(ids), nIDs)
+	}
+	for i, b := range ids {
+		if int(b) != i%64 {
+			t.Fatalf("ids[%d] = %d, want %d", i, b, i%64)
+		}
+	}
+	// A truncated recording (lost trailer) must be refused.
+	if _, err := ReadSchedule(bytes.NewReader(buf.Bytes()[:buf.Len()-4]), 64); err == nil {
+		t.Fatal("truncated schedule accepted")
+	}
+	// Ids outside the block range must be refused.
+	if _, err := ReadSchedule(bytes.NewReader(buf.Bytes()), 8); err == nil {
+		t.Fatal("schedule with out-of-range ids accepted")
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	good := `{"run_id":"r1","epoch":2,"nodes":1,"program":"pr","graph_digest":"d","config_hash":"c","num_vertices":10,"num_blocks":2,"saved_unix_ms":5}`
+	if _, err := DecodeManifest(strings.NewReader(good)); err != nil {
+		t.Fatal(err)
+	}
+	for name, bad := range map[string]string{
+		"traversal run id": `{"run_id":"../x","epoch":1,"nodes":1,"program":"pr","graph_digest":"d","config_hash":"c","num_vertices":1,"num_blocks":1,"saved_unix_ms":1}`,
+		"zero nodes":       `{"run_id":"r","epoch":1,"nodes":0,"program":"pr","graph_digest":"d","config_hash":"c","num_vertices":1,"num_blocks":1,"saved_unix_ms":1}`,
+		"no program":       `{"run_id":"r","epoch":1,"nodes":1,"program":"","graph_digest":"d","config_hash":"c","num_vertices":1,"num_blocks":1,"saved_unix_ms":1}`,
+		"unknown field":    `{"run_id":"r","epoch":1,"nodes":1,"program":"pr","graph_digest":"d","config_hash":"c","num_vertices":1,"num_blocks":1,"saved_unix_ms":1,"extra":true}`,
+		"not json":         `GABC????`,
+	} {
+		if _, err := DecodeManifest(strings.NewReader(bad)); err == nil {
+			t.Fatalf("%s: accepted %s", name, bad)
+		}
+	}
+}
+
+func TestConfigHashAndDigestStability(t *testing.T) {
+	a := ConfigHash("pr", 100, 10, 1, 2)
+	if b := ConfigHash("pr", 100, 10, 1, 2); a != b {
+		t.Fatalf("ConfigHash unstable: %s vs %s", a, b)
+	}
+	for i, other := range []string{
+		ConfigHash("cc", 100, 10, 1, 2),
+		ConfigHash("pr", 101, 10, 1, 2),
+		ConfigHash("pr", 100, 11, 1, 2),
+		ConfigHash("pr", 100, 10, 2, 2),
+		ConfigHash("pr", 100, 10, 1, 3),
+	} {
+		if other == a {
+			t.Fatalf("variant %d collides with the base hash", i)
+		}
+	}
+	d1 := DigestOffsets(3, 4, []int64{0, 1, 2, 4}, []int64{0, 2, 3, 4})
+	d2 := DigestOffsets(3, 4, []int64{0, 1, 3, 4}, []int64{0, 2, 3, 4})
+	if d1 == d2 {
+		t.Fatal("offset digest ignores the offset arrays")
+	}
+	if fmt.Sprintf("%s", d1) == "" || len(d1) != 16 {
+		t.Fatalf("digest %q is not 16 hex chars", d1)
+	}
+}

@@ -1,0 +1,66 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"graphabcd/internal/graph"
+)
+
+// DigestOffsets fingerprints a graph from the quantities every runtime
+// already holds: vertex/edge counts plus both full degree sequences (the
+// CSC and CSR offset arrays). The distributed coordinator reads exactly
+// these arrays from the snapshot header region, so single-process and
+// cluster runs compute the same digest without an O(m) edge-list pass.
+// Two graphs with identical degree sequences in both directions could
+// collide, but the digest is a resume mismatch guard, not an integrity
+// check — the state and graph files each carry their own CRCs.
+func DigestOffsets(n, m int64, inOff, outOff []int64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		_, _ = h.Write(b[:])
+	}
+	put(n)
+	put(m)
+	for _, o := range inOff {
+		put(o)
+	}
+	for _, o := range outOff {
+		put(o)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// DigestGraph is DigestOffsets over an in-memory graph.
+func DigestGraph(g *graph.Graph) string {
+	n, m := g.NumVertices(), g.NumEdges()
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		_, _ = h.Write(b[:])
+	}
+	put(int64(n))
+	put(int64(m))
+	for v := 0; v <= n; v++ {
+		put(g.InOffset(v))
+	}
+	for v := 0; v <= n; v++ {
+		put(g.OutOffset(v))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ConfigHash fingerprints the run shape a checkpoint's scheduler and
+// value sections are only meaningful under: the program, the block
+// geometry, the codec width, and the cluster size. Engine knobs that do
+// not change state layout (worker counts, epsilon, policy) deliberately
+// stay out, so a resume may retune them.
+func ConfigHash(program string, numVertices, numBlocks int64, words, nodes int) string {
+	h := fnv.New64a()
+	_, _ = fmt.Fprintf(h, "prog=%s n=%d nb=%d words=%d nodes=%d", program, numVertices, numBlocks, words, nodes)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

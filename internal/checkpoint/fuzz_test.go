@@ -1,0 +1,60 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode throws arbitrary bytes at every decoder a resume
+// trusts: the GABC state decoder, the manifest parser, and the schedule
+// reader. None may panic or over-allocate; a state that survives Decode
+// must satisfy the same invariants Encode enforces (round-trip clean).
+func FuzzCheckpointDecode(f *testing.F) {
+	st := testState()
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Truncation sweep seeds.
+	for _, l := range []int{0, 4, ckptHeaderLen, ckptHeaderLen + 12, len(valid) / 2, len(valid) - 1} {
+		if l <= len(valid) {
+			f.Add(bytes.Clone(valid[:l]))
+		}
+	}
+	// Bitflip seeds across the regions: header, meta, values, trailer.
+	for _, pos := range []int{0, 8, 30, ckptHeaderLen + 20, len(valid) / 2, len(valid) - 2} {
+		mut := bytes.Clone(valid)
+		mut[pos] ^= 0x80
+		f.Add(mut)
+	}
+	var sbuf bytes.Buffer
+	rec := NewScheduleRecorder(&sbuf)
+	for i := 0; i < 100; i++ {
+		rec.Record(i % 7)
+	}
+	if err := rec.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sbuf.Bytes())
+	f.Add([]byte(`{"run_id":"r1","epoch":2,"nodes":1,"program":"pr","graph_digest":"d","config_hash":"c","num_vertices":10,"num_blocks":2,"saved_unix_ms":5}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if st, err := Decode(bytes.NewReader(data)); err == nil {
+			if err := st.validate(); err != nil {
+				t.Fatalf("decoded state violates its own invariants: %v", err)
+			}
+			var re bytes.Buffer
+			if err := Encode(&re, st); err != nil {
+				t.Fatalf("decoded state does not re-encode: %v", err)
+			}
+		}
+		if m, err := DecodeManifest(bytes.NewReader(data)); err == nil {
+			if err := m.validate(); err != nil {
+				t.Fatalf("decoded manifest violates its own invariants: %v", err)
+			}
+		}
+		_, _ = ReadSchedule(bytes.NewReader(data), 1024)
+	})
+}

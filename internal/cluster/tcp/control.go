@@ -13,6 +13,8 @@ import (
 	"math"
 	"net"
 	"time"
+
+	"graphabcd/internal/checkpoint"
 )
 
 // Distributed-graph sanity bounds: a coordinator is operator-provided,
@@ -138,8 +140,22 @@ type distAssign struct {
 	epsilon        float64
 	retryBase      time.Duration
 	retryDeadline  time.Duration
-	addrs          []string
+	// Checkpoint plan. ckptDir names a store directory every node can
+	// reach (the protocol assumes a shared filesystem); empty disables
+	// checkpointing. resumeEpoch > 0 restores that committed epoch before
+	// the run starts, and seqBase then seeds every node's envelope
+	// sequence above every stamp the restored state can hold, so the
+	// staleness filter never drops a fresh post-resume write.
+	ckptDir      string
+	ckptRunID    string
+	ckptInterval time.Duration
+	resumeEpoch  uint64
+	seqBase      uint64
+	addrs        []string
 }
+
+// maxCtrlDir bounds the checkpoint directory path in an assignment.
+const maxCtrlDir = 4096
 
 func appendAssign(f []byte, a distAssign) []byte {
 	f = binary.LittleEndian.AppendUint32(f, uint32(a.node))
@@ -155,6 +171,13 @@ func appendAssign(f []byte, a distAssign) []byte {
 	f = binary.LittleEndian.AppendUint64(f, uint64(int64(a.retryBase)))
 	f = binary.LittleEndian.AppendUint64(f, uint64(int64(a.retryDeadline)))
 	f = binary.LittleEndian.AppendUint64(f, floatBits(a.epsilon))
+	f = binary.LittleEndian.AppendUint64(f, uint64(int64(a.ckptInterval)))
+	f = binary.LittleEndian.AppendUint64(f, a.resumeEpoch)
+	f = binary.LittleEndian.AppendUint64(f, a.seqBase)
+	f = binary.LittleEndian.AppendUint16(f, uint16(len(a.ckptDir)))
+	f = append(f, a.ckptDir...)
+	f = binary.LittleEndian.AppendUint16(f, uint16(len(a.ckptRunID)))
+	f = append(f, a.ckptRunID...)
 	for _, addr := range a.addrs {
 		f = binary.LittleEndian.AppendUint16(f, uint16(len(addr)))
 		f = append(f, addr...)
@@ -170,7 +193,7 @@ func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
 // downstream code allocates from it.
 func decodeAssign(b []byte) (distAssign, error) {
 	var a distAssign
-	const fixed = 4 + 4 + 8 + 8 + 4 + 4 + 4 + 4 + 1 + 4 + 8 + 8 + 8
+	const fixed = 4 + 4 + 8 + 8 + 4 + 4 + 4 + 4 + 1 + 4 + 8 + 8 + 8 + 8 + 8 + 8
 	if len(b) < fixed {
 		return a, fmt.Errorf("tcp: assign frame %d bytes, want at least %d", len(b), fixed)
 	}
@@ -187,6 +210,9 @@ func decodeAssign(b []byte) (distAssign, error) {
 	a.retryBase = time.Duration(binary.LittleEndian.Uint64(b[45:]))
 	a.retryDeadline = time.Duration(binary.LittleEndian.Uint64(b[53:]))
 	a.epsilon = bitsFloat(binary.LittleEndian.Uint64(b[61:]))
+	a.ckptInterval = time.Duration(binary.LittleEndian.Uint64(b[69:]))
+	a.resumeEpoch = binary.LittleEndian.Uint64(b[77:])
+	a.seqBase = binary.LittleEndian.Uint64(b[85:])
 	switch {
 	case a.nodes < 1 || a.nodes > maxDistNodes:
 		return a, fmt.Errorf("tcp: assign nodes %d outside [1, %d]", a.nodes, maxDistNodes)
@@ -208,8 +234,25 @@ func decodeAssign(b []byte) (distAssign, error) {
 		return a, fmt.Errorf("tcp: assign negative retry timing %v/%v", a.retryBase, a.retryDeadline)
 	case !(a.epsilon >= 0):
 		return a, fmt.Errorf("tcp: assign epsilon %g is negative or NaN", a.epsilon)
+	case a.ckptInterval < 0:
+		return a, fmt.Errorf("tcp: assign negative checkpoint interval %v", a.ckptInterval)
 	}
 	rest := b[fixed:]
+	var err error
+	if a.ckptDir, rest, err = takeString(rest, maxCtrlDir, "checkpoint dir"); err != nil {
+		return a, err
+	}
+	if a.ckptRunID, rest, err = takeString(rest, 128, "checkpoint run id"); err != nil {
+		return a, err
+	}
+	switch {
+	case a.ckptRunID != "" && !checkpoint.ValidRunID(a.ckptRunID):
+		return a, fmt.Errorf("tcp: assign checkpoint run id %q invalid", a.ckptRunID)
+	case a.ckptDir == "" && (a.ckptRunID != "" || a.ckptInterval > 0 || a.resumeEpoch > 0):
+		return a, fmt.Errorf("tcp: assign has checkpoint plan but no store directory")
+	case a.resumeEpoch > 0 && a.ckptRunID == "":
+		return a, fmt.Errorf("tcp: assign resumes epoch %d without a run id", a.resumeEpoch)
+	}
 	a.addrs = make([]string, 0, presizeCap(a.nodes, 16))
 	for len(a.addrs) < a.nodes {
 		if len(rest) < 2 {
@@ -227,6 +270,32 @@ func decodeAssign(b []byte) (distAssign, error) {
 		return a, fmt.Errorf("tcp: assign has %d trailing bytes", len(rest))
 	}
 	return a, nil
+}
+
+// takeString consumes one u16-length-prefixed string from rest; empty is
+// allowed, anything over maxLen is refused at the boundary.
+func takeString(rest []byte, maxLen int, what string) (string, []byte, error) {
+	if len(rest) < 2 {
+		return "", nil, fmt.Errorf("tcp: assign truncated before %s", what)
+	}
+	n := int(binary.LittleEndian.Uint16(rest))
+	if n > maxLen || len(rest) < 2+n {
+		return "", nil, fmt.Errorf("tcp: assign %s length %d invalid", what, n)
+	}
+	return string(rest[2 : 2+n]), rest[2+n:], nil
+}
+
+// appendEpoch / decodeEpoch carry the u64 checkpoint epoch of fCkpt and
+// fCkptAck frames.
+func appendEpoch(f []byte, epoch uint64) []byte {
+	return binary.LittleEndian.AppendUint64(f, epoch)
+}
+
+func decodeEpoch(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("tcp: checkpoint frame %d bytes, want 8", len(b))
+	}
+	return binary.LittleEndian.Uint64(b), nil
 }
 
 // sectionChunk is one fSection payload: a byte range of one snapshot

@@ -15,6 +15,7 @@ package tcp
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"graphabcd/internal/bcd"
+	"graphabcd/internal/checkpoint"
 	"graphabcd/internal/cluster"
 	"graphabcd/internal/graph"
 	"graphabcd/internal/sched"
@@ -55,6 +57,25 @@ type DistConfig struct {
 	// 2ms). Termination needs two consecutive all-quiet rounds, so it
 	// bounds the detection latency at roughly twice this.
 	ProbeEvery time.Duration
+	// CheckpointDir enables cluster-wide fuzzy checkpoints (DESIGN.md
+	// §12): the coordinator periodically has every node write its owned
+	// state into this directory and commits a manifest once all nodes
+	// ack. The path must resolve to the same shared filesystem on every
+	// node — each node writes its own state file there, and a resuming
+	// node reads all of them.
+	CheckpointDir string
+	// CheckpointInterval is the coordinator's checkpoint period (default
+	// 1s when CheckpointDir is set).
+	CheckpointInterval time.Duration
+	// RunID names the checkpoint run; empty derives a stable id from the
+	// algorithm and the identity triple, so re-serving the same snapshot
+	// with the same shape overwrites the same run.
+	RunID string
+	// Resume restarts the whole cluster from a committed checkpoint: a
+	// run id, or "latest" for the newest committed manifest in
+	// CheckpointDir. The manifest's identity triple and node count must
+	// match this run exactly.
+	Resume string
 	// Transport tunes the coordinator's data-plane sockets.
 	Transport Options
 	// Telemetry, when non-nil, receives the wire gauges.
@@ -66,6 +87,13 @@ func (c DistConfig) probeEvery() time.Duration {
 		return 2 * time.Millisecond
 	}
 	return c.ProbeEvery
+}
+
+func (c DistConfig) checkpointInterval() time.Duration {
+	if c.CheckpointInterval <= 0 {
+		return time.Second
+	}
+	return c.CheckpointInterval
 }
 
 func (c DistConfig) transportOptions() Options {
@@ -129,6 +157,10 @@ func Serve(ctx context.Context, ctrl net.Listener, snapshotPath string, cfg Dist
 	if err := ccfg.Validate(); err != nil {
 		return nil, err
 	}
+	plan, err := resolveCheckpointPlan(cfg, snap, ccfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 1: collect joiners. Accept deadlines keep the wait
 	// responsive to cancellation.
@@ -190,6 +222,11 @@ func Serve(ctx context.Context, ctrl net.Listener, snapshotPath string, cfg Dist
 		epsilon:        cfg.Epsilon,
 		retryBase:      cfg.RetryBase,
 		retryDeadline:  cfg.RetryDeadline,
+		ckptDir:        plan.dir,
+		ckptRunID:      plan.runID,
+		ckptInterval:   plan.interval,
+		resumeEpoch:    plan.resumeEpoch,
+		seqBase:        plan.seqBase,
 		addrs:          dataAddrs,
 	}
 	fail := func(err error) (*DistResult, error) {
@@ -296,6 +333,130 @@ func Join(ctx context.Context, coordAddr string, opts Options) error {
 	return err
 }
 
+// ckptPlan is the coordinator's resolved checkpoint/resume decision,
+// broadcast to every node through the assignment.
+type ckptPlan struct {
+	dir         string
+	runID       string
+	interval    time.Duration
+	resumeEpoch uint64
+	seqBase     uint64
+}
+
+// resolveCheckpointPlan turns the serve config into the cluster's
+// checkpoint plan, validating a requested resume against the snapshot
+// before any joiner is assigned: the manifest's identity triple
+// (program, graph digest, config hash) and node count must match this
+// run exactly, and every node's state file of the committed epoch must
+// decode. The files' maximum envelope sequence/stamp seeds seqBase so
+// no post-resume envelope id ever loses a staleness race against a
+// restored write stamp.
+func resolveCheckpointPlan(cfg DistConfig, snap *snapshotSections, blockSize int) (ckptPlan, error) {
+	var p ckptPlan
+	if cfg.CheckpointDir == "" {
+		if cfg.Resume != "" {
+			return p, errors.New("tcp: Resume needs CheckpointDir")
+		}
+		if cfg.RunID != "" {
+			return p, errors.New("tcp: RunID needs CheckpointDir")
+		}
+		return p, nil
+	}
+	code, err := algoCode(cfg.Algo)
+	if err != nil {
+		return p, err
+	}
+	program := algoName(code)
+	words, err := algoWords(code)
+	if err != nil {
+		return p, err
+	}
+	nb := int64((snap.n + blockSize - 1) / blockSize)
+	digest := checkpoint.DigestOffsets(int64(snap.n), int64(snap.m), snap.inOff, snap.outOff)
+	confHash := checkpoint.ConfigHash(program, int64(snap.n), nb, words, cfg.Nodes)
+	p.dir = cfg.CheckpointDir
+	p.interval = cfg.checkpointInterval()
+	p.runID = cfg.RunID
+	if p.runID == "" {
+		p.runID = fmt.Sprintf("%s-%.8s%.8s", program, digest, confHash)
+	}
+	if !checkpoint.ValidRunID(p.runID) {
+		return p, fmt.Errorf("tcp: checkpoint run id %q invalid (want [A-Za-z0-9._-], no leading dot)", p.runID)
+	}
+	if cfg.Resume == "" {
+		return p, nil
+	}
+	store, err := checkpoint.NewDirStore(cfg.CheckpointDir)
+	if err != nil {
+		return p, err
+	}
+	var m *checkpoint.Manifest
+	if cfg.Resume == "latest" {
+		m, err = store.Latest()
+	} else {
+		m, err = store.Load(cfg.Resume)
+	}
+	if err != nil {
+		return p, err
+	}
+	switch {
+	case m.Program != program:
+		return p, fmt.Errorf("tcp: checkpoint %s is a %s run, this cluster runs %s (program mismatch)", m.RunID, m.Program, program)
+	case m.Nodes != cfg.Nodes:
+		return p, fmt.Errorf("tcp: checkpoint %s was written by %d nodes, this cluster has %d", m.RunID, m.Nodes, cfg.Nodes)
+	case m.NumVertices != int64(snap.n) || m.NumBlocks != nb:
+		return p, fmt.Errorf("tcp: checkpoint %s shape %dx%d does not match this run (%dx%d)", m.RunID, m.NumVertices, m.NumBlocks, snap.n, nb)
+	case m.GraphDigest != digest:
+		return p, fmt.Errorf("tcp: checkpoint %s graph digest %s does not match this snapshot (%s)", m.RunID, m.GraphDigest, digest)
+	case m.ConfigHash != confHash:
+		return p, fmt.Errorf("tcp: checkpoint %s config hash %s does not match this run (%s)", m.RunID, m.ConfigHash, confHash)
+	}
+	p.runID = m.RunID
+	p.resumeEpoch = m.Epoch
+	for node := 0; node < m.Nodes; node++ {
+		rc, err := store.ReadState(m.RunID, m.Epoch, node)
+		if err != nil {
+			return p, err
+		}
+		st, err := checkpoint.Decode(rc)
+		_ = rc.Close()
+		if err != nil {
+			return p, fmt.Errorf("tcp: resume epoch %d node %d: %w", m.Epoch, node, err)
+		}
+		hi := st.Counters.Seq
+		for _, s := range st.Stamps {
+			if s > hi {
+				hi = s
+			}
+		}
+		// A fuzzy capture may stamp a receiver's slot with an envelope id
+		// above the sender's own captured sequence (the batch was in
+		// flight between the two capture points), so the base takes the
+		// max over stamps as well as sequences, cluster-wide.
+		if hi+1 > p.seqBase {
+			p.seqBase = hi + 1
+		}
+	}
+	return p, nil
+}
+
+// algoWords is the codec width each dist algorithm's program uses —
+// part of the config hash, needed before the generic dispatch picks a
+// concrete program type.
+func algoWords(code byte) (int, error) {
+	switch code {
+	case algoPR:
+		return bcd.PageRank{}.Codec().Words(), nil
+	case algoSSSP:
+		return bcd.SSSP{}.Codec().Words(), nil
+	case algoBFS:
+		return bcd.BFS{}.Codec().Words(), nil
+	case algoCC:
+		return bcd.CC{}.Codec().Words(), nil
+	}
+	return 0, fmt.Errorf("tcp: unknown algorithm code %d", code)
+}
+
 // listenSameHost opens an ephemeral TCP listener on the host part of
 // addr and returns it with its advertisable address.
 func listenSameHost(addr net.Addr) (net.Listener, string, error) {
@@ -337,6 +498,18 @@ func runDistProg[V, M any](ctx context.Context, g *graph.Graph, a distAssign, pr
 	if err != nil {
 		return nil, err
 	}
+	if a.ckptDir != "" {
+		if d.ckpt, err = newDistCheckpointer(d); err == nil && a.resumeEpoch > 0 {
+			err = d.ckpt.resumeNode()
+		}
+		if err != nil {
+			if cc != nil {
+				cc.sendError(err)
+			}
+			d.tr.Close()
+			return nil, err
+		}
+	}
 	d.start()
 	defer d.shutdown()
 	if cc == nil {
@@ -377,6 +550,10 @@ type distNode[V, M any] struct {
 	done     chan struct{}
 	failure  atomic.Pointer[error]
 	wg       sync.WaitGroup
+
+	// ckpt is non-nil when the assignment carries a checkpoint plan; see
+	// dist_ckpt.go for the capture/resume protocol.
+	ckpt *distCheckpointer[V, M]
 }
 
 type distPending struct {
@@ -807,6 +984,10 @@ func (d *distNode[V, M]) probe() probeReply {
 func (d *distNode[V, M]) coordinate(ctx context.Context, joiners []*ctrlConn, probeEvery time.Duration, start time.Time) (*DistResult, error) {
 	var prev []probeReply
 	quietRounds := 0
+	var nextCkpt time.Time
+	if d.ckpt != nil {
+		nextCkpt = time.Now().Add(d.a.ckptInterval)
+	}
 	for quietRounds < 2 {
 		select {
 		case <-ctx.Done():
@@ -815,6 +996,16 @@ func (d *distNode[V, M]) coordinate(ctx context.Context, joiners []*ctrlConn, pr
 		}
 		if errp := d.failure.Load(); errp != nil {
 			return nil, *errp
+		}
+		// Checkpoint rounds interleave with probe rounds on the same
+		// lockstep control lane. A capture reads counters and state
+		// without mutating either, so it cannot disturb the two-round
+		// quiescence detection below.
+		if d.ckpt != nil && !time.Now().Before(nextCkpt) {
+			if err := d.checkpointRound(joiners); err != nil {
+				return nil, err
+			}
+			nextCkpt = time.Now().Add(d.a.ckptInterval)
 		}
 		round := make([]probeReply, 0, len(joiners)+1)
 		round = append(round, d.probe())
@@ -909,6 +1100,28 @@ func (d *distNode[V, M]) follow(ctx context.Context, cc *ctrlConn) error {
 		switch body[0] {
 		case fProbe:
 			if err := cc.write(appendProbeReply(newFrame(fProbeReply), d.probe())); err != nil {
+				return err
+			}
+		case fCkpt:
+			epoch, err := decodeEpoch(body[1:])
+			if err != nil {
+				cc.sendError(err)
+				return err
+			}
+			if d.ckpt == nil {
+				err := errors.New("tcp: coordinator requested a checkpoint but the assignment carried no checkpoint plan")
+				cc.sendError(err)
+				return err
+			}
+			// Capture on the control goroutine while the workers run —
+			// that concurrency is the fuzziness. The ack promises only
+			// that this node's state file is durable; the coordinator
+			// commits the manifest once every node has promised.
+			if err := d.ckpt.captureNode(epoch); err != nil {
+				cc.sendError(err)
+				return err
+			}
+			if err := cc.write(appendEpoch(newFrame(fCkptAck), epoch)); err != nil {
 				return err
 			}
 		case fStop:

@@ -1,0 +1,246 @@
+// Distributed fuzzy checkpointing for the -listen/-join runtime
+// (DESIGN.md §12). The coordinator drives cluster-wide checkpoint epochs
+// over the control lane: on each tick it captures its own node state,
+// sends fCkpt to every joiner, and commits the epoch's manifest only
+// after every joiner has acked its state file durable — so a crash at
+// any point leaves either the previous fully-acked epoch or nothing, and
+// a torn checkpoint is never resumable.
+//
+// The capture is fuzzy: no node pauses its workers, and the nodes
+// capture at slightly different moments, so a batch in flight between
+// two capture points may be present in the sender's values and absent
+// from the receiver's cache. That is safe for the state-based programs
+// the dist runtime serves, because resume does not restore caches at
+// all: every node re-derives its owned in-edge cache slots from the
+// restored global values array (each node's state file carries its owned
+// vertex range; the store is a shared filesystem, so every node reads
+// all of them), which reconstructs exactly the updates any lost batch
+// would have delivered. Missed activations are covered the same way the
+// single-process resume covers them — every owned block restarts active.
+package tcp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"graphabcd/internal/checkpoint"
+)
+
+// distCheckpointer is one node's view of the cluster checkpoint plan.
+type distCheckpointer[V, M any] struct {
+	d        *distNode[V, M]
+	store    *checkpoint.DirStore
+	runID    string
+	digest   string
+	confHash string
+	epoch    uint64 // last locally written epoch (committed only on node 0)
+}
+
+func newDistCheckpointer[V, M any](d *distNode[V, M]) (*distCheckpointer[V, M], error) {
+	store, err := checkpoint.NewDirStore(d.a.ckptDir)
+	if err != nil {
+		return nil, err
+	}
+	return &distCheckpointer[V, M]{
+		d:     d,
+		store: store,
+		runID: d.a.ckptRunID,
+		// The partial graphs carry both full offset arrays, so every node
+		// computes the same digest the coordinator computed from the
+		// snapshot file — and the same one a single-process run computes.
+		digest:   checkpoint.DigestGraph(d.g),
+		confHash: checkpoint.ConfigHash(algoName(d.a.algo), int64(d.g.NumVertices()), int64(d.part.NumBlocks()), d.values.Words(), d.a.nodes),
+		epoch:    d.a.resumeEpoch,
+	}, nil
+}
+
+// ownedSlotRange returns the in-edge slot span of the node's owned
+// vertex range — the only cache and stamp slots this node ever writes.
+func (d *distNode[V, M]) ownedSlotRange() (int64, int64) {
+	vlo, vhi := d.ownedVertexRange()
+	return d.g.InOffset(vlo), d.g.InOffset(vhi)
+}
+
+// captureNode writes this node's state file for the given epoch: owned
+// vertex values, owned block priorities and active flags, owned slot
+// stamps, and the envelope sequence — all read with the same atomics the
+// workers use, while the workers keep running.
+func (dc *distCheckpointer[V, M]) captureNode(epoch uint64) error {
+	d := dc.d
+	vlo, vhi := d.ownedVertexRange()
+	slo, shi := d.ownedSlotRange()
+	words := d.values.Words()
+	st := &checkpoint.State{
+		NumVertices: int64(d.g.NumVertices()),
+		NumBlocks:   int64(d.part.NumBlocks()),
+		Words:       words,
+		Node:        d.a.node,
+		Nodes:       d.a.nodes,
+		VertexLo:    int64(vlo), VertexHi: int64(vhi),
+		BlockLo: int64(d.blockLo), BlockHi: int64(d.blockHi),
+		SlotBase: slo,
+		Values:   make([]uint64, (vhi-vlo)*words),
+		Priority: make([]uint64, d.blockHi-d.blockLo),
+		Active:   make([]byte, d.blockHi-d.blockLo),
+		Stamps:   make([]uint64, shi-slo),
+		Counters: checkpoint.Counters{Seq: d.seq.Load()},
+	}
+	d.values.SnapshotWords(int64(vlo), int64(vhi), st.Values)
+	d.st.SnapshotBlocks(d.blockLo, d.blockHi, st.Priority, st.Active)
+	for s := slo; s < shi; s++ {
+		st.Stamps[s-slo] = d.slotSeq[s].Load()
+	}
+	if err := dc.store.WriteState(dc.runID, epoch, d.a.node, func(w io.Writer) error {
+		return checkpoint.Encode(w, st)
+	}); err != nil {
+		return err
+	}
+	dc.epoch = epoch
+	return nil
+}
+
+// resumeNode restores this node from the assignment's committed epoch.
+// Every node's state file contributes its owned vertex values (the full
+// global iterate); only this node's file contributes scheduler mass and
+// slot stamps. The owned cache is then rebuilt from the restored values,
+// and the envelope sequence restarts above every stamp in the cluster
+// (assign.seqBase, computed by the coordinator from all state files).
+func (dc *distCheckpointer[V, M]) resumeNode() error {
+	d := dc.d
+	epoch := d.a.resumeEpoch
+	n := int64(d.g.NumVertices())
+	nb := int64(d.part.NumBlocks())
+	words := d.values.Words()
+	for node := 0; node < d.a.nodes; node++ {
+		st, err := dc.readState(epoch, node)
+		if err != nil {
+			return err
+		}
+		if st.NumVertices != n || st.NumBlocks != nb || st.Words != words {
+			return fmt.Errorf("tcp: resume epoch %d node %d: state shape %dx%dx%d does not match the run (%dx%dx%d)",
+				epoch, node, st.NumVertices, st.NumBlocks, st.Words, n, nb, words)
+		}
+		wantVlo, wantVhi, wantSlo, _, _, _ := dc.nodeSpans(node)
+		if st.VertexLo != wantVlo || st.VertexHi != wantVhi {
+			return fmt.Errorf("tcp: resume epoch %d node %d: vertex range [%d,%d), want [%d,%d)",
+				epoch, node, st.VertexLo, st.VertexHi, wantVlo, wantVhi)
+		}
+		d.values.RestoreWords(st.VertexLo, st.Values)
+		if node != d.a.node {
+			continue
+		}
+		if st.SlotBase != wantSlo || int64(len(st.Stamps)) != dc.ownedSlotCount() {
+			return fmt.Errorf("tcp: resume epoch %d node %d: slot range [%d,+%d), want [%d,+%d)",
+				epoch, node, st.SlotBase, len(st.Stamps), wantSlo, dc.ownedSlotCount())
+		}
+		for i, stamp := range st.Stamps {
+			d.slotSeq[st.SlotBase+int64(i)].Store(stamp)
+		}
+		// Add the captured Gauss-Southwell mass on top of the baseline
+		// activation newDistNode seeded: every owned block restarts
+		// active (a fuzzy capture may have missed an activation), and
+		// the restored priorities preserve the scheduling order.
+		for b := d.blockLo; b < d.blockHi; b++ {
+			d.st.Activate(b, math.Float64frombits(st.Priority[b-d.blockLo]))
+		}
+	}
+	d.rebuildOwnedCache()
+	d.seq.Store(d.a.seqBase)
+	return nil
+}
+
+func (dc *distCheckpointer[V, M]) ownedSlotCount() int64 {
+	slo, shi := dc.d.ownedSlotRange()
+	return shi - slo
+}
+
+// nodeSpans mirrors the owned ranges any node computes for itself.
+func (dc *distCheckpointer[V, M]) nodeSpans(node int) (vlo, vhi, slo, shi int64, blo, bhi int) {
+	d := dc.d
+	nb := d.part.NumBlocks()
+	blo, bhi = distBlockRange(nb, d.a.nodes, node)
+	if blo >= bhi {
+		return 0, 0, 0, 0, blo, bhi
+	}
+	lo, _ := d.part.VertexRange(blo)
+	_, hi := d.part.VertexRange(bhi - 1)
+	return int64(lo), int64(hi), d.g.InOffset(lo), d.g.InOffset(hi), blo, bhi
+}
+
+func (dc *distCheckpointer[V, M]) readState(epoch uint64, node int) (*checkpoint.State, error) {
+	rc, err := dc.store.ReadState(dc.runID, epoch, node)
+	if err != nil {
+		return nil, err
+	}
+	st, err := checkpoint.Decode(rc)
+	_ = rc.Close()
+	if err != nil {
+		return nil, fmt.Errorf("tcp: resume epoch %d node %d: %w", epoch, node, err)
+	}
+	if st.Node != node || st.Nodes != dc.d.a.nodes {
+		return nil, fmt.Errorf("tcp: resume epoch %d: state file claims node %d/%d, want %d/%d",
+			epoch, st.Node, st.Nodes, node, dc.d.a.nodes)
+	}
+	return st, nil
+}
+
+// rebuildOwnedCache re-derives every owned in-edge cache slot from the
+// restored global values: slot s caches ScatterValue of its source
+// vertex, whatever node owns that source. This is what reconstructs any
+// update batch the fuzzy capture lost in flight.
+func (d *distNode[V, M]) rebuildOwnedCache() {
+	vlo, vhi := d.ownedVertexRange()
+	buf := make([]uint64, d.values.Words())
+	var val V
+	for v := vlo; v < vhi; v++ {
+		for s := d.g.InOffset(v); s < d.g.InOffset(v+1); s++ {
+			src := d.g.InSrc(s)
+			d.values.LoadBuf(int64(src), &val, buf)
+			d.cache.StoreBuf(s, d.prog.ScatterValue(src, val, d.g), buf)
+		}
+	}
+}
+
+// checkpointRound drives one cluster-wide checkpoint epoch from the
+// coordinator: own capture, fCkpt to every joiner, all acks, then — and
+// only then — the manifest commit. The control lane is lockstep, so the
+// acks arrive in joiner order; the fuzziness is in when each node's
+// capture samples its live state, not in the commit.
+func (d *distNode[V, M]) checkpointRound(joiners []*ctrlConn) error {
+	dc := d.ckpt
+	epoch := dc.epoch + 1
+	for _, j := range joiners {
+		if err := j.write(appendEpoch(newFrame(fCkpt), epoch)); err != nil {
+			return fmt.Errorf("tcp: checkpoint epoch %d: %w", epoch, err)
+		}
+	}
+	if err := dc.captureNode(epoch); err != nil {
+		return err
+	}
+	for i, j := range joiners {
+		body, err := j.expect(fCkptAck)
+		if err != nil {
+			return fmt.Errorf("tcp: checkpoint ack from node %d: %w", i+1, err)
+		}
+		got, err := decodeEpoch(body[1:])
+		if err != nil {
+			return err
+		}
+		if got != epoch {
+			return fmt.Errorf("tcp: node %d acked checkpoint epoch %d, want %d", i+1, got, epoch)
+		}
+	}
+	return dc.store.Commit(&checkpoint.Manifest{
+		RunID:       dc.runID,
+		Epoch:       epoch,
+		Nodes:       d.a.nodes,
+		Program:     algoName(d.a.algo),
+		GraphDigest: dc.digest,
+		ConfigHash:  dc.confHash,
+		NumVertices: int64(d.g.NumVertices()),
+		NumBlocks:   int64(d.part.NumBlocks()),
+		SavedUnixMs: time.Now().UnixMilli(),
+	})
+}

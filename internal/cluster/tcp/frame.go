@@ -44,6 +44,8 @@ const (
 	fValues     byte = 10 // joiner -> coordinator: owned value chunk
 	fDone       byte = 11 // either direction: clean end of protocol
 	fError      byte = 12 // either direction: fatal error, utf-8 message
+	fCkpt       byte = 13 // coordinator -> joiner: capture checkpoint epoch (u64)
+	fCkptAck    byte = 14 // joiner -> coordinator: epoch (u64) state file durable
 )
 
 const (

@@ -17,9 +17,11 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"graphabcd/internal/accel"
+	"graphabcd/internal/checkpoint"
 	"graphabcd/internal/edgestore"
 	"graphabcd/internal/sched"
 	"graphabcd/internal/telemetry"
@@ -113,6 +115,15 @@ type Config struct {
 	// passes without a single vertex update increments
 	// Stats.StallWindows. 0 means 500ms; negative disables the watchdog.
 	Watchdog time.Duration
+	// Checkpoint configures crash-safe periodic state snapshots and
+	// resume (DESIGN.md §12). The zero value disables checkpointing
+	// entirely — no goroutine starts and the hot path is untouched.
+	Checkpoint Checkpoint
+	// RecordSchedule, when non-nil, receives the issued block schedule in
+	// the GABR format for deterministic replay (ReplaySchedule). Async
+	// and Barrier modes only; the caller owns closing the underlying
+	// file after the run returns.
+	RecordSchedule io.Writer
 	// Telemetry, when non-nil, is the live instrumentation registry the
 	// run emits into: sharded counters, per-stage latency/staleness
 	// histograms, sampled trace events, and the convergence series
@@ -160,8 +171,64 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: unknown mode %v; valid modes are Async, Barrier, and BSP", c.Mode)
 	case c.Policy != sched.Cyclic && c.Policy != sched.Priority && c.Policy != sched.Random:
 		return fmt.Errorf("core: unknown policy %v; valid policies are Cyclic, Priority, and Random", c.Policy)
+	case c.RecordSchedule != nil && c.Mode == BSP:
+		return fmt.Errorf("core: RecordSchedule requires Async or Barrier mode; BSP has no block schedule to record")
+	case c.Checkpoint.enabled() && c.Mode == BSP:
+		return fmt.Errorf("core: Checkpoint requires Async or Barrier mode; BSP restarts cost one sweep, so just rerun it")
+	}
+	return c.Checkpoint.validate()
+}
+
+// Checkpoint configures crash-safe snapshots of engine state: every
+// Interval the engine captures a fuzzy snapshot (vertex values, scheduler
+// priorities, progress counters) without pausing workers and commits it
+// through the Store; Resume restarts a run from the last committed epoch.
+// A checkpoint write failure fails the run — silently running without the
+// durability the caller asked for is worse than stopping.
+type Checkpoint struct {
+	// Dir is the checkpoint directory; a checkpoint.DirStore is opened on
+	// it when Store is nil.
+	Dir string
+	// Interval is the capture period. <= 0 writes no periodic checkpoints
+	// (a Dir/Store with Resume still restores state, it just never saves).
+	Interval time.Duration
+	// Store overrides Dir with a custom checkpoint store.
+	Store checkpoint.Store
+	// RunID names the run in the store; distinct concurrent runs must use
+	// distinct ids. Empty derives a stable id from the program, graph
+	// digest, and config hash (so a plain rerun of the same job resumes
+	// under -resume latest naturally).
+	RunID string
+	// Resume names the run id to restore before executing: values,
+	// priorities, and progress counters seed from the last committed
+	// epoch instead of prog.Init. The special value "latest" picks the
+	// store's most recently committed run. The restored identity triple
+	// (graph digest, program, config hash) must match or the run refuses
+	// to start.
+	Resume string
+}
+
+// enabled reports whether any checkpoint machinery should be set up.
+func (c Checkpoint) enabled() bool {
+	return c.Dir != "" || c.Store != nil
+}
+
+func (c Checkpoint) validate() error {
+	switch {
+	case !c.enabled() && (c.Interval > 0 || c.Resume != "" || c.RunID != ""):
+		return fmt.Errorf("core: Checkpoint.Interval/RunID/Resume need a checkpoint store; set Checkpoint.Dir or Checkpoint.Store")
+	case c.RunID != "" && !checkpoint.ValidRunID(c.RunID):
+		return fmt.Errorf("core: Checkpoint.RunID %q invalid; use [A-Za-z0-9._-] with no leading dot", c.RunID)
+	case c.Resume != "" && c.Resume != "latest" && !checkpoint.ValidRunID(c.Resume):
+		return fmt.Errorf("core: Checkpoint.Resume %q invalid; use a run id or \"latest\"", c.Resume)
 	}
 	return nil
+}
+
+// ResumeFrom configures the run to restore state from runID's last
+// committed checkpoint ("latest" resumes the store's newest run).
+func (c *Config) ResumeFrom(runID string) {
+	c.Checkpoint.Resume = runID
 }
 
 func (c Config) watchdogPeriod() time.Duration {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"graphabcd/internal/bcd"
+	"graphabcd/internal/checkpoint"
 	"graphabcd/internal/edgestore"
 	"graphabcd/internal/graph"
 	"graphabcd/internal/sched"
@@ -39,6 +40,21 @@ func RunContext[V, M any](ctx context.Context, g *graph.Graph, prog bcd.Program[
 		return nil, err
 	}
 	e.ctx = ctx
+	// Checkpoint setup and resume happen before any worker or watchdog
+	// goroutine starts: a resume failure must abort the run cleanly, and
+	// the restored state must be fully published before anyone reads it.
+	ck, err := newCheckpointer(e, cfg.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	if ck != nil && cfg.Checkpoint.Resume != "" {
+		if err := ck.resume(cfg.Checkpoint.Resume); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.RecordSchedule != nil {
+		e.rec = checkpoint.NewScheduleRecorder(cfg.RecordSchedule)
+	}
 	start := time.Now()
 	stopWatch := make(chan struct{})
 	var watch sync.WaitGroup
@@ -47,6 +63,13 @@ func RunContext[V, M any](ctx context.Context, g *graph.Graph, prog bcd.Program[
 		defer watch.Done()
 		e.watchdog(stopWatch)
 	}()
+	if ck != nil && ck.interval > 0 {
+		watch.Add(1)
+		go func() {
+			defer watch.Done()
+			ck.loop(stopWatch)
+		}()
+	}
 	var converged bool
 	if cfg.Mode == BSP {
 		converged = e.runBSP()
@@ -55,6 +78,13 @@ func RunContext[V, M any](ctx context.Context, g *graph.Graph, prog bcd.Program[
 	}
 	close(stopWatch)
 	watch.Wait()
+	if e.rec != nil {
+		// A lost schedule is a corrupt replay; surface the sink's first
+		// error as the run's.
+		if err := e.rec.Close(); err != nil {
+			e.fail(fmt.Errorf("core: schedule recording: %w", err))
+		}
+	}
 	if errp := e.failure.Load(); errp != nil {
 		return nil, *errp
 	}
@@ -102,6 +132,19 @@ type engine[V, M any] struct {
 
 	deltaPool sync.Pool // *[]float64 buffers of block size
 	dvalPool  sync.Pool // *[]V out-delta buffers (operation-based mode)
+
+	// resumed is set when a checkpoint resume seeded values and scheduler
+	// state; runBlocked then skips the fresh-run ActivateAll (resume did
+	// its own mass-preserving activation).
+	resumed bool
+	// ckptGen increments at the start and end of every checkpoint capture
+	// (odd while one is in progress). The watchdog skips stall windows
+	// that overlapped a capture so checkpoint I/O never counts as an
+	// engine stall (Stats.StallWindows stays a pure progress signal).
+	ckptGen atomic.Int64
+	// rec, when non-nil, records every issued block id for deterministic
+	// replay. Only the scheduler goroutine writes to it.
+	rec *checkpoint.ScheduleRecorder
 
 	// modeled byte widths for the accelerator cost model
 	valueBytes int64 // encoded vertex value width
@@ -259,6 +302,7 @@ func (e *engine[V, M]) watchdog(stop <-chan struct{}) {
 		return
 	}
 	last := int64(-1)
+	lastGen := e.ckptGen.Load()
 	t := time.NewTicker(period)
 	defer t.Stop()
 	for {
@@ -268,10 +312,14 @@ func (e *engine[V, M]) watchdog(stop <-chan struct{}) {
 		case <-t.C:
 		}
 		progress := e.vertexUpdates()
-		if progress == last {
+		gen := e.ckptGen.Load()
+		// A window is a stall only if no vertex updated AND no checkpoint
+		// capture overlapped it (gen unchanged and even): pausing for
+		// checkpoint I/O is paid-for durability, not an engine stall.
+		if progress == last && gen == lastGen && gen%2 == 0 {
 			e.sh0.Add(telemetry.CtrStallWindows, 1)
 		}
-		last = progress
+		last, lastGen = progress, gen
 	}
 }
 
@@ -298,7 +346,9 @@ type task struct {
 // converged (as opposed to hitting the MaxEpochs budget).
 func (e *engine[V, M]) runBlocked() bool {
 	nb := e.part.NumBlocks()
-	e.st.ActivateAll(1)
+	if !e.resumed {
+		e.st.ActivateAll(1)
+	}
 	scheduler, err := sched.New(e.cfg.Policy, e.st, e.cfg.Seed)
 	if err != nil {
 		// Config.Validate rejects unknown policies, so this is normally
@@ -391,6 +441,9 @@ func (e *engine[V, M]) schedule(s sched.Scheduler, accelQ chan<- blockItem) bool
 		}
 		spins = 0
 		e.sh0.Add(telemetry.CtrTasksIssued, 1)
+		if e.rec != nil {
+			e.rec.Record(b)
+		}
 		if !e.sendBlock(accelQ, b) {
 			return false
 		}
@@ -476,6 +529,9 @@ func (e *engine[V, M]) scheduleBarrier(s sched.Scheduler, accelQ chan<- blockIte
 		for b := 0; b < e.part.NumBlocks(); b++ {
 			if e.st.Active(b) && !e.st.InFlight(b) && e.st.Claim(b) {
 				e.sh0.Add(telemetry.CtrTasksIssued, 1)
+				if e.rec != nil {
+					e.rec.Record(b)
+				}
 				if !e.sendBlock(accelQ, b) {
 					return false
 				}

@@ -116,6 +116,23 @@ func (s *State) PendingMass() float64 {
 // NumActive returns the number of active blocks.
 func (s *State) NumActive() int { return s.active.Count() }
 
+// SnapshotBlocks copies the priorities (as float64 bit patterns) and
+// active flags of blocks [lo, hi) into pri and active, each sized hi-lo,
+// with atomic loads. Safe to call while workers keep activating: the
+// copy is a fuzzy-but-valid sample of the pending gradient mass, which
+// is all a checkpoint resume needs (it re-activates every block anyway,
+// the captured mass only seeds the priority order).
+func (s *State) SnapshotBlocks(lo, hi int, pri []uint64, active []byte) {
+	s.priority.SnapshotBits(lo, hi, pri)
+	for b := lo; b < hi; b++ {
+		if s.active.Get(b) {
+			active[b-lo] = 1
+		} else {
+			active[b-lo] = 0
+		}
+	}
+}
+
 // Scheduler selects the next block to process. Implementations must be
 // safe for concurrent use; a successful Next has claimed the block (the
 // caller must call State.Done when the block's processing chain finishes).

@@ -76,6 +76,30 @@ func (a *Array[V]) Fill(v V) {
 // model's traffic accounting.
 func (a *Array[V]) Bytes() int64 { return int64(len(a.data)) * 8 }
 
+// SnapshotWords copies the raw words of values [lo, hi) into dst with
+// per-word atomic loads, returning the words written. Safe to call while
+// writers run: each word is a consistent atomic read, so the copy is a
+// valid bounded-staleness iterate (multi-word values may mix words from
+// adjacent writes, the same semantics concurrent readers already see).
+// dst must hold at least (hi-lo)*Words() entries.
+func (a *Array[V]) SnapshotWords(lo, hi int64, dst []uint64) int {
+	base := lo * int64(a.words)
+	n := (hi - lo) * int64(a.words)
+	for w := int64(0); w < n; w++ {
+		dst[w] = atomic.LoadUint64(&a.data[base+w])
+	}
+	return int(n)
+}
+
+// RestoreWords stores src's raw words into values [lo, lo+len/words) with
+// per-word atomic stores — the checkpoint-resume inverse of SnapshotWords.
+func (a *Array[V]) RestoreWords(lo int64, src []uint64) {
+	base := lo * int64(a.words)
+	for w := range src {
+		atomic.StoreUint64(&a.data[base+int64(w)], src[w])
+	}
+}
+
 // FloatArray is an array of float64 supporting atomic CAS accumulation,
 // used for block priorities (Gauss-Southwell gradient mass, Sec. IV-B).
 type FloatArray struct {
@@ -113,6 +137,23 @@ func (f *FloatArray) Add(i int, delta float64) float64 {
 // Swap atomically replaces element i and returns the previous value.
 func (f *FloatArray) Swap(i int, v float64) float64 {
 	return math.Float64frombits(atomic.SwapUint64(&f.bits[i], math.Float64bits(v)))
+}
+
+// SnapshotBits copies the raw float64 bit patterns of elements [lo, hi)
+// into dst with atomic loads; used by the checkpoint writer to capture
+// scheduler priorities while workers keep accumulating.
+func (f *FloatArray) SnapshotBits(lo, hi int, dst []uint64) {
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = atomic.LoadUint64(&f.bits[i])
+	}
+}
+
+// RestoreBits stores raw bit patterns into elements [lo, lo+len) — the
+// resume inverse of SnapshotBits.
+func (f *FloatArray) RestoreBits(lo int, src []uint64) {
+	for i, v := range src {
+		atomic.StoreUint64(&f.bits[lo+i], v)
+	}
 }
 
 // Bitset is an atomic bitvector used for the active list and the in-flight

@@ -341,3 +341,86 @@ func TestRMWPanicsOnMultiWord(t *testing.T) {
 	var cur []float32
 	a.RMW(0, make([]uint64, 2), &cur, func(v []float32) []float32 { return v })
 }
+
+func TestArraySnapshotRestoreWords(t *testing.T) {
+	a := NewArray[[]float32](Vec32{Dim: 3}, 10) // 2 words per value
+	for i := int64(0); i < 10; i++ {
+		a.Store(i, []float32{float32(i), float32(i) * 2, float32(i) * 3})
+	}
+	words := a.Words()
+	dst := make([]uint64, 4*words)
+	if n := a.SnapshotWords(3, 7, dst); n != 4*words {
+		t.Fatalf("SnapshotWords wrote %d words, want %d", n, 4*words)
+	}
+	b := NewArray[[]float32](Vec32{Dim: 3}, 10)
+	b.RestoreWords(3, dst)
+	var got []float32
+	for i := int64(3); i < 7; i++ {
+		b.Load(i, &got)
+		for k, w := range []float32{float32(i), float32(i) * 2, float32(i) * 3} {
+			if got[k] != w {
+				t.Fatalf("restored[%d][%d] = %g, want %g", i, k, got[k], w)
+			}
+		}
+	}
+	// Values outside the restored range stay zero.
+	b.Load(0, &got)
+	if got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("restore touched value 0: %v", got)
+	}
+}
+
+func TestFloatArraySnapshotRestoreBits(t *testing.T) {
+	f := NewFloatArray(8)
+	for i := 0; i < 8; i++ {
+		f.Store(i, float64(i)*0.5)
+	}
+	bits := make([]uint64, 5)
+	f.SnapshotBits(2, 7, bits)
+	g := NewFloatArray(8)
+	g.RestoreBits(2, bits)
+	for i := 2; i < 7; i++ {
+		if got, want := g.Load(i), float64(i)*0.5; got != want {
+			t.Fatalf("restored[%d] = %g, want %g", i, got, want)
+		}
+	}
+	if g.Load(0) != 0 || g.Load(7) != 0 {
+		t.Fatal("restore touched elements outside the range")
+	}
+}
+
+// TestSnapshotWordsConcurrent pins the fuzzy-capture contract: a snapshot
+// taken while writers run contains, for every single-word value, some
+// value that was actually stored — never a torn word.
+func TestSnapshotWordsConcurrent(t *testing.T) {
+	const n = 1024
+	a := NewArray[uint64](U64{}, n)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]uint64, 1)
+		for round := uint64(1); ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := int64(0); i < n; i++ {
+				a.StoreBuf(i, round<<32|uint64(i), buf)
+			}
+		}
+	}()
+	dst := make([]uint64, n)
+	for k := 0; k < 100; k++ {
+		a.SnapshotWords(0, n, dst)
+		for i, w := range dst {
+			if w != 0 && uint32(w) != uint32(i) {
+				t.Fatalf("snapshot[%d] = %#x: low half does not match any stored value", i, w)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

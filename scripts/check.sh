@@ -19,6 +19,9 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "== wire frame round-trip smoke"
     go test -count=1 -run 'Frame|Envelope' \
         ./internal/cluster ./internal/cluster/tcp
+    echo "== checkpoint round-trip + resume smoke"
+    go test -count=1 -run 'Checkpoint|Resume|Schedule' \
+        ./internal/checkpoint ./internal/core
     echo "Smoke checks passed."
     exit 0
 fi
@@ -70,8 +73,8 @@ go test -count=1 ./...
 
 echo "== fuzz corpora seeds (no -fuzz; replays the checked-in seeds)"
 go test -count=1 -run 'Fuzz' \
-    ./internal/cluster ./internal/cluster/tcp ./internal/edgestore \
-    ./internal/graph ./internal/word
+    ./internal/checkpoint ./internal/cluster ./internal/cluster/tcp \
+    ./internal/edgestore ./internal/graph ./internal/word
 
 echo "== chaos suite (seeded fault injection, race detector)"
 go test -race -count=1 -timeout 90s ./internal/chaos
