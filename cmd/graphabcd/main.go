@@ -47,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"path/filepath"
@@ -63,6 +64,7 @@ import (
 	"graphabcd/internal/edgestore"
 	"graphabcd/internal/gen"
 	"graphabcd/internal/graph"
+	"graphabcd/internal/obslog"
 	"graphabcd/internal/sched"
 	"graphabcd/internal/telemetry"
 )
@@ -122,8 +124,11 @@ func run() error {
 		useTel      = flag.Bool("telemetry", false, "enable stage histograms and the post-run telemetry report")
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of sampled block lifecycles to this file")
 		traceSample = flag.Int("trace-sample", 16, "trace every Nth block id (1 = every block)")
-		metricsAddr = flag.String("metrics-addr", "", "serve live expvar metrics and pprof on this address (e.g. :6060)")
+		traceMerge  = flag.String("trace-merge", "", "merge the per-node trace shards given as arguments into this file, then exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, expvar, and pprof on this address (e.g. :6060); works on joiners too")
 		progress    = flag.Bool("progress", false, "print a 1 Hz status line to stderr while the run executes")
+		logLevel    = flag.String("log-level", "", "enable structured logging to stderr at this level: debug | info | warn | error")
+		logFormat   = flag.String("log-format", "text", "structured log encoding: text | json")
 	)
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "source" {
@@ -137,17 +142,66 @@ func run() error {
 		}
 	})
 
+	if *traceMerge != "" {
+		// A pure post-processing mode: stitch per-node trace shards and
+		// exit without touching a graph.
+		return mergeTraces(*traceMerge, flag.Args())
+	}
+
+	if *logLevel != "" {
+		lvl, ok := obslog.ParseLevel(*logLevel)
+		if !ok {
+			return fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", *logLevel)
+		}
+		// Per-process identity attrs; the per-event node/runID fields in
+		// the log sites refine these once an assignment is known.
+		var attrs []slog.Attr
+		if *runID != "" {
+			attrs = append(attrs, slog.String("runID", *runID))
+		}
+		switch {
+		case *joinAddr != "":
+			attrs = append(attrs, slog.String("role", "joiner"), slog.String("addr", *joinAddr))
+		case *listenAddr != "":
+			attrs = append(attrs, slog.String("role", "coordinator"), slog.String("addr", *listenAddr), slog.Int("node", 0))
+		}
+		if !obslog.Init(lvl, *logFormat, os.Stderr, attrs...) {
+			return fmt.Errorf("unknown -log-format %q (want text|json)", *logFormat)
+		}
+	}
+
 	if *joinAddr != "" {
 		// A joiner is configured entirely by its coordinator: no graph,
-		// no dataset, no engine flags.
+		// no dataset, no engine flags — but it serves its own metrics
+		// endpoint and ships telemetry deltas when the coordinator asks.
 		ctx := context.Background()
 		if *timeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
+		jOpts := telemetryOpts{
+			enabled:     *useTel,
+			tracePath:   *tracePath,
+			traceSample: *traceSample,
+			metricsAddr: *metricsAddr,
+		}
+		var jses *telemetrySession
+		topts := tcp.Options{}
+		if jOpts.active() {
+			var err error
+			if jses, err = startTelemetry(jOpts); err != nil {
+				return err
+			}
+			topts.Telemetry = jses.reg
+			topts.Health = jses.health
+		}
 		fmt.Printf("joining coordinator at %s\n", *joinAddr)
-		if err := tcp.Join(ctx, *joinAddr, tcp.Options{}); err != nil {
+		err := tcp.Join(ctx, *joinAddr, topts)
+		if jses != nil {
+			jses.finish()
+		}
+		if err != nil {
 			return err
 		}
 		fmt.Println("join run complete")
@@ -188,6 +242,7 @@ func run() error {
 		traceSample: *traceSample,
 		metricsAddr: *metricsAddr,
 		progress:    *progress,
+		cluster:     *listenAddr != "",
 	}
 	var tses *telemetrySession
 	var telReg *telemetry.Registry
@@ -199,8 +254,15 @@ func run() error {
 	}
 
 	if *listenAddr != "" {
+		var clus *telemetry.ClusterStats
+		var health *telemetry.Health
+		if tses != nil {
+			clus, health = tses.cluster, tses.health
+		}
 		err := runListen(ctx, g, *listenAddr, *valuesOut, distOpts{
 			tel:          telReg,
+			cluster:      clus,
+			health:       health,
 			algo:         *algo,
 			src:          src,
 			top:          *top,
@@ -218,6 +280,13 @@ func run() error {
 			tses.finish()
 		}
 		return err
+	}
+
+	// The in-process paths have no dist runtime driving readiness; the
+	// run itself is the readiness signal (-listen/-join flip it from
+	// inside the cluster runtime instead).
+	if tses != nil {
+		tses.health.SetReady(true, "running")
 	}
 
 	if *nodes > 1 {
@@ -435,6 +504,8 @@ func runCore[V, M any](ctx context.Context, g *graph.Graph, prog bcd.Program[V, 
 // distOpts carries the distributed-run flag values.
 type distOpts struct {
 	tel          *telemetry.Registry
+	cluster      *telemetry.ClusterStats // coordinator: merged fStats sink
+	health       *telemetry.Health       // /readyz state, driven by the dist runtime
 	algo         string
 	src          uint32
 	top          int
@@ -484,6 +555,8 @@ func runListen(ctx context.Context, g *graph.Graph, addr, valuesOut string, o di
 		BatchSize:          o.batch,
 		Epsilon:            o.eps,
 		Telemetry:          o.tel,
+		Cluster:            o.cluster,
+		Health:             o.health,
 		CheckpointDir:      o.ckptDir,
 		CheckpointInterval: o.ckptInterval,
 		RunID:              o.runID,
@@ -504,6 +577,11 @@ func runListen(ctx context.Context, g *graph.Graph, addr, valuesOut string, o di
 		fmt.Printf("components: %d\n", countComponents(res.Uint))
 	}
 	fmt.Printf("nodes: %d\nbatches sent: %d\nwall time: %v\n", o.nodes, res.BatchesSent, res.WallTime)
+	if w := res.Wire; w.FramesSent > 0 || w.FramesRecv > 0 {
+		fmt.Printf("wire: %d B in %d frames sent, %d B in %d frames recv, %d reconnects, %d drops (%d crc), queue high water %d\n",
+			w.BytesSent, w.FramesSent, w.BytesRecv, w.FramesRecv,
+			w.Reconnects, w.Drops, w.CRCDrops, w.QueueHighWater)
+	}
 	if valuesOut != "" {
 		if err := writeValues(valuesOut, res); err != nil {
 			return err

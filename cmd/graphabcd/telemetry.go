@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"net/http/pprof"
 	"os"
 	"sort"
 	"time"
@@ -19,8 +19,9 @@ type telemetryOpts struct {
 	enabled     bool   // -telemetry: histograms + post-run report
 	tracePath   string // -trace: Chrome trace-event JSON output file
 	traceSample int    // -trace-sample: trace every Nth block id
-	metricsAddr string // -metrics-addr: expvar + pprof HTTP listener
+	metricsAddr string // -metrics-addr: /metrics + expvar + pprof listener
 	progress    bool   // -progress: 1 Hz status line on stderr
+	cluster     bool   // coordinator: aggregate and expose cluster families
 }
 
 // active reports whether any observability feature was requested.
@@ -29,9 +30,12 @@ func (o telemetryOpts) active() bool {
 }
 
 // telemetrySession owns the run's registry and the resources behind it:
-// the trace file, the metrics listener, and the progress printer.
+// the trace file, the metrics listener, the health state, the optional
+// cluster aggregation sink, and the progress printer.
 type telemetrySession struct {
 	reg       *telemetry.Registry
+	health    *telemetry.Health
+	cluster   *telemetry.ClusterStats // non-nil only on a coordinator
 	tracer    *telemetry.Tracer
 	traceFile *os.File
 	tracePath string
@@ -43,7 +47,10 @@ type telemetrySession struct {
 // startTelemetry builds the registry and starts whatever the flags asked
 // for. On error everything already started is torn down.
 func startTelemetry(o telemetryOpts) (*telemetrySession, error) {
-	s := &telemetrySession{}
+	s := &telemetrySession{health: telemetry.NewHealth("starting")}
+	if o.cluster {
+		s.cluster = telemetry.NewClusterStats()
+	}
 	if o.tracePath != "" {
 		f, err := os.Create(o.tracePath)
 		if err != nil {
@@ -56,20 +63,30 @@ func startTelemetry(o telemetryOpts) (*telemetrySession, error) {
 	s.reg = telemetry.New(telemetry.Options{Histograms: true, Tracer: s.tracer})
 
 	if o.metricsAddr != "" {
-		// expvar's import hook puts /debug/vars on the default mux and
-		// the pprof import puts /debug/pprof/* there, so serving the
-		// default mux exposes both; the snapshot var joins them here.
-		expvar.Publish("graphabcd", expvar.Func(func() any { return s.reg.Snapshot() }))
+		// An explicit mux, not http.DefaultServeMux: the process serves
+		// exactly the endpoints it documents, and nothing an imported
+		// package happened to register globally.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.PromHandler(s.reg, s.cluster))
+		mux.Handle("/healthz", telemetry.HealthzHandler())
+		mux.Handle("/readyz", telemetry.ReadyzHandler(s.health))
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		publishSnapshotVar(s.reg)
 		ln, err := net.Listen("tcp", o.metricsAddr)
 		if err != nil {
 			s.closeTrace()
 			return nil, fmt.Errorf("metrics-addr: %w", err)
 		}
 		s.listener = ln
-		fmt.Printf("metrics: http://%s/debug/vars (pprof at /debug/pprof/)\n", ln.Addr())
+		fmt.Printf("metrics: http://%s/metrics (healthz, readyz, debug/vars, debug/pprof/)\n", ln.Addr())
 		//abcdlint:ignore goroutine -- bounded by the listener: http.Serve returns when finish() closes ln at session shutdown
 		go func() {
-			_ = http.Serve(ln, nil)
+			_ = http.Serve(ln, mux)
 		}()
 	}
 
@@ -80,6 +97,23 @@ func startTelemetry(o telemetryOpts) (*telemetrySession, error) {
 	}
 	return s, nil
 }
+
+// publishSnapshotVar exposes the registry snapshot under /debug/vars.
+// expvar.Publish panics on a duplicate name, and tests may build several
+// sessions in one process, so the publication is latched once and the
+// live registry swapped behind it.
+var snapshotVarReg = func() *struct{ r *telemetry.Registry } {
+	holder := &struct{ r *telemetry.Registry }{}
+	expvar.Publish("graphabcd", expvar.Func(func() any {
+		if holder.r == nil {
+			return nil
+		}
+		return holder.r.Snapshot()
+	}))
+	return holder
+}()
+
+func publishSnapshotVar(r *telemetry.Registry) { snapshotVarReg.r = r }
 
 // progressLoop prints a one-line status to stderr once per second while
 // the run executes.
@@ -121,6 +155,7 @@ func (s *telemetrySession) closeTrace() {
 // finish stops the live outputs, finalizes the trace, and prints the
 // post-run telemetry report. Call it once, after the run returns.
 func (s *telemetrySession) finish() {
+	s.health.SetReady(false, "stopped")
 	if s.stop != nil {
 		close(s.stop)
 		<-s.done
@@ -143,8 +178,9 @@ func (s *telemetrySession) finish() {
 	s.printReport()
 }
 
-// printReport renders the stage-latency table and the convergence
-// sparkline from the registry's final state.
+// printReport renders the stage-latency table, the convergence
+// sparkline, and (on a coordinator) the merged per-node cluster table
+// from the registry's final state.
 func (s *telemetrySession) printReport() {
 	snap := s.reg.Snapshot()
 	if len(snap.Stages) > 0 {
@@ -185,5 +221,34 @@ func (s *telemetrySession) printReport() {
 		fmt.Printf("convergence (%d epochs):\n", conv[len(conv)-1].Epoch)
 		fmt.Printf("  residual      %s  %.3g -> %.3g\n", metrics.Sparkline(res, 48), res[0], res[len(res)-1])
 		fmt.Printf("  active blocks %s  %.0f -> %.0f\n", metrics.Sparkline(act, 48), act[0], act[len(act)-1])
+	}
+	s.printClusterReport()
+}
+
+// printClusterReport renders the coordinator's merged per-node telemetry
+// table — the cluster-wide view the fStats rounds aggregated.
+func (s *telemetrySession) printClusterReport() {
+	if s.cluster == nil || s.cluster.Len() == 0 {
+		return
+	}
+	nodes := s.cluster.Nodes()
+	fmt.Printf("cluster telemetry (%d nodes):\n", len(nodes))
+	t := metrics.NewTable(os.Stdout,
+		"  node", "vtx upd", "msgs", "batches", "retried", "ckpt ep", "ckpt B", "crc drop", "reconn", "queue hw")
+	for i := range nodes {
+		n := &nodes[i]
+		t.Row(fmt.Sprintf("  %d", n.Node),
+			n.Counters[telemetry.CtrVertexUpdates],
+			n.Counters[telemetry.CtrMessagesSent],
+			n.Counters[telemetry.CtrBatchesSent],
+			n.Counters[telemetry.CtrBatchesRetried],
+			n.Counters[telemetry.CtrCkptEpochs],
+			n.Counters[telemetry.CtrCkptBytes],
+			n.Wire.CRCDrops,
+			n.Wire.Reconnects,
+			n.Wire.QueueHighWater)
+	}
+	if err := t.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphabcd: report:", err)
 	}
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"graphabcd/internal/checkpoint"
+)
+
+// mergeTraces stitches per-node Chrome trace shards (one -trace file per
+// cluster process) into a single JSON array loadable in ui.perfetto.dev.
+// No event rewriting is needed: every shard already carries its node id
+// as the event pid (the tracer's process_name metadata names the track),
+// and the cross-node flow events share ids computed from (srcNode, seq)
+// on both ends — concatenation alone makes the arrows connect.
+func mergeTraces(out string, shards []string) error {
+	if len(shards) == 0 {
+		return errors.New("trace-merge: no shard files given (usage: -trace-merge merged.json node0.json node1.json ...)")
+	}
+	var events []json.RawMessage
+	for _, path := range shards {
+		evs, err := readTraceShard(path)
+		if err != nil {
+			return fmt.Errorf("trace-merge: %s: %w", path, err)
+		}
+		events = append(events, evs...)
+	}
+	// AtomicWriteFile already buffers; writes go straight to w.
+	if err := checkpoint.AtomicWriteFile(out, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "[\n"); err != nil {
+			return err
+		}
+		for i, ev := range events {
+			if i > 0 {
+				if _, err := io.WriteString(w, ",\n"); err != nil {
+					return err
+				}
+			}
+			if _, err := w.Write(ev); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n]\n")
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("trace-merge: %d events from %d shards -> %s\n", len(events), len(shards), out)
+	return nil
+}
+
+// readTraceShard decodes one shard's event array. A shard from a process
+// that died mid-run may be truncated (no closing bracket); the decoded
+// prefix is kept rather than losing the whole shard, with a warning.
+func readTraceShard(path string) ([]json.RawMessage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	dec := json.NewDecoder(bufio.NewReaderSize(f, 1<<16))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("not a trace event array: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, fmt.Errorf("not a trace event array (starts with %v)", tok)
+	}
+	var evs []json.RawMessage
+	for dec.More() {
+		var ev json.RawMessage
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+				fmt.Fprintf(os.Stderr, "graphabcd: trace-merge: %s truncated, kept %d events\n", path, len(evs))
+				return evs, nil
+			}
+			return nil, err
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"graphabcd/internal/cluster"
+	"graphabcd/internal/obslog"
 )
 
 // Config parameterizes the injected faults. The zero value injects
@@ -93,6 +94,11 @@ func New(cfg Config) *Transport {
 		}
 		t.partitioned[[2]int{a, b}] = true
 	}
+	obslog.L().Info("chaos transport armed",
+		"event", "chaos.config", "seed", cfg.Seed,
+		"dropRate", cfg.DropRate, "dupRate", cfg.DupRate,
+		"maxDelay", cfg.MaxDelay, "partitions", len(cfg.Partitions),
+		"afterBatches", cfg.AfterBatches)
 	return t
 }
 
@@ -115,6 +121,8 @@ func (t *Transport) Send(from, to int, e cluster.Envelope) {
 		// The callback typically calls Control.FailNode, which pauses
 		// the world — run it off the sender's goroutine so a worker
 		// never deadlocks against its own fault.
+		obslog.L().Warn("injected fault fired",
+			"event", "chaos.fault_fired", "afterBatches", t.cfg.AfterBatches, "sends", n)
 		go t.cfg.OnFault()
 	}
 	a, b := from, to

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"graphabcd/internal/obslog"
 )
 
 // Manifest is the commit record of one checkpoint epoch. It is written
@@ -137,6 +139,8 @@ func (d *DirStore) WriteState(runID string, epoch uint64, node int, write func(i
 // completed every node's WriteState for the epoch first.
 func (d *DirStore) Commit(m *Manifest) error {
 	if err := m.validate(); err != nil {
+		obslog.L().Warn("manifest commit refused",
+			"event", "ckpt.commit_refused", "runID", m.RunID, "epoch", m.Epoch, "err", err)
 		return err
 	}
 	rd, err := d.runDir(m.RunID)
@@ -220,7 +224,12 @@ func (d *DirStore) Latest() (*Manifest, error) {
 		}
 		m, err := loadManifest(filepath.Join(d.dir, e.Name(), "MANIFEST.json"))
 		if err != nil {
-			continue // an uncommitted or torn run dir is not a candidate
+			// An uncommitted or torn run dir is not a candidate, but a
+			// human debugging "-resume latest picked the wrong run" wants
+			// to see what was skipped and why.
+			obslog.L().Debug("skipping uncommitted run dir",
+				"event", "ckpt.skip_torn", "run", e.Name(), "err", err)
+			continue
 		}
 		if best == nil || m.SavedUnixMs > best.SavedUnixMs {
 			best = m

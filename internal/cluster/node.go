@@ -68,6 +68,8 @@ type clusterRun[V, M any] struct {
 	budget    int64         // vertex-update budget from MaxEpochs
 	done      chan struct{} // closed at teardown; releases appliers
 	stopping  atomic.Bool
+	stopped   chan struct{} // closed when stopping flips; releases blocked senders
+	stopOnce  sync.Once
 	converged atomic.Bool
 	failure   atomic.Pointer[error]
 
@@ -140,6 +142,7 @@ func newCluster[V, M any](g *graph.Graph, prog bcd.Program[V, M], cfg Config) (*
 		cache:   word.NewArray(codec, g.NumEdges()),
 		slotSeq: make([]atomic.Uint64, g.NumEdges()),
 		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
 	}
 	c.transport = cfg.Transport
 	if c.transport == nil {
@@ -205,11 +208,23 @@ func (c *clusterRun[V, M]) initArrays() {
 	}
 }
 
+// stop flips the run into teardown. stopping is the cheap poll the hot
+// loops read; stopped is the same fact as a closed channel for
+// goroutines parked in a select. Both are needed: when the retry loop
+// exits on stopping it strands the window slots of not-yet-due unacked
+// batches, so a worker blocked on a full send window (e.g. under a
+// partition) must have a teardown escape — done cannot serve, it only
+// closes after the workers exit.
+func (c *clusterRun[V, M]) stop() {
+	c.stopping.Store(true)
+	c.stopOnce.Do(func() { close(c.stopped) })
+}
+
 // fail records the first failure; the coordinator stops the run and Run
 // returns the error.
 func (c *clusterRun[V, M]) fail(err error) {
 	c.failure.CompareAndSwap(nil, &err)
-	c.stopping.Store(true)
+	c.stop()
 }
 
 // recoverToFailure converts a worker or applier panic into a run failure
@@ -381,7 +396,7 @@ func (c *clusterRun[V, M]) workerStep(n *node[V, M], sch sched.Scheduler, ws *wo
 	if c.vertexUpdates() >= c.budget {
 		// Workers police the budget themselves; the coordinator's
 		// polling interval would otherwise allow a large overshoot.
-		c.stopping.Store(true)
+		c.stop()
 		return -1
 	}
 	b, ok := sch.Next()
@@ -503,6 +518,12 @@ func (c *clusterRun[V, M]) flush(n *node[V, M], owner int, p *batch, sh *telemet
 	if n.sendWindow != nil {
 		select {
 		case n.sendWindow <- struct{}{}: //abcdlint:ignore hotpath -- MaxUnacked flow control: one channel op per batch, amortized over BatchSize slot updates
+		case <-c.stopped:
+			// Teardown: the batch dies with the run. Waiting on done
+			// instead would deadlock — done closes only after the
+			// workers exit, and under a partition the window slots held
+			// by undeliverable batches are never coming back.
+			return
 		case <-c.done:
 			return // shutdown: the batch dies with the run
 		}
@@ -750,17 +771,17 @@ func (c *clusterRun[V, M]) coordinate(ctx context.Context) {
 		case <-done:
 			// Graceful cancellation: stop scheduling, keep the partial
 			// result. Converged stays false.
-			c.stopping.Store(true)
+			c.stop()
 			return
 		default:
 		}
 		if c.vertexUpdates() >= c.budget {
-			c.stopping.Store(true)
+			c.stop()
 			return
 		}
 		if c.checkQuiescence() {
 			c.converged.Store(true)
-			c.stopping.Store(true)
+			c.stop()
 			return
 		}
 		time.Sleep(20 * time.Microsecond)

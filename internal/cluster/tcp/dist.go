@@ -29,6 +29,7 @@ import (
 	"graphabcd/internal/checkpoint"
 	"graphabcd/internal/cluster"
 	"graphabcd/internal/graph"
+	"graphabcd/internal/obslog"
 	"graphabcd/internal/sched"
 	"graphabcd/internal/telemetry"
 	"graphabcd/internal/word"
@@ -80,6 +81,21 @@ type DistConfig struct {
 	Transport Options
 	// Telemetry, when non-nil, receives the wire gauges.
 	Telemetry *telemetry.Registry
+	// Cluster, when non-nil, receives the merged cluster telemetry: the
+	// coordinator interleaves fStats rounds with its probe rounds and
+	// folds every node's shipped delta into this snapshot (DESIGN.md
+	// §13).
+	Cluster *telemetry.ClusterStats
+	// StatsEvery is the coordinator's telemetry aggregation period
+	// (default 500ms when Cluster is set). A final round always runs
+	// before termination, so the merged snapshot is complete even for
+	// runs shorter than one period.
+	StatsEvery time.Duration
+	// Health, when non-nil, is driven through the run's readiness
+	// transitions: ready once the node has joined and started, not-ready
+	// while a checkpoint resume rewrites state, not-ready again at
+	// shutdown.
+	Health *telemetry.Health
 }
 
 func (c DistConfig) probeEvery() time.Duration {
@@ -101,6 +117,15 @@ func (c DistConfig) transportOptions() Options {
 	if o.Telemetry == nil {
 		o.Telemetry = c.Telemetry
 	}
+	if o.Cluster == nil {
+		o.Cluster = c.Cluster
+	}
+	if o.StatsEvery <= 0 {
+		o.StatsEvery = c.StatsEvery
+	}
+	if o.Health == nil {
+		o.Health = c.Health
+	}
 	return o
 }
 
@@ -114,6 +139,10 @@ type DistResult struct {
 	// final probe round).
 	BatchesSent int64
 	WallTime    time.Duration
+	// Wire is the coordinator's own transport counter snapshot at run
+	// end. Per-node wire stats for the whole cluster live in the
+	// DistConfig.Cluster snapshot when aggregation is enabled.
+	Wire WireStats
 }
 
 // Serve runs the coordinator: it accepts cfg.Nodes-1 joiners on ctrl,
@@ -198,6 +227,9 @@ func Serve(ctx context.Context, ctrl net.Listener, snapshotPath string, cfg Dist
 		}
 		joiners = append(joiners, cc)
 		dataAddrs[len(joiners)] = addr
+		obslog.L().Info("joiner accepted",
+			"event", "cluster.join", "node", len(joiners), "dataAddr", addr,
+			"joined", len(joiners), "want", cfg.Nodes-1)
 	}
 
 	// Phase 2: the coordinator's own data listener, on the same host the
@@ -267,6 +299,9 @@ func Serve(ctx context.Context, ctrl net.Listener, snapshotPath string, cfg Dist
 			return fail(fmt.Errorf("tcp: start: %w", err))
 		}
 	}
+	obslog.L().Info("cluster assembled, starting run",
+		"event", "cluster.start", "nodes", cfg.Nodes, "algo", cfg.Algo,
+		"vertices", snap.n, "edges", snap.m)
 	res, err := runDist(ctx, g, selfAssign, tr, joiners, nil, cfg.probeEvery(), start)
 	if err != nil {
 		return fail(err)
@@ -311,6 +346,9 @@ func Join(ctx context.Context, coordAddr string, opts Options) error {
 		cc.sendError(err)
 		return err
 	}
+	obslog.L().Info("assignment received",
+		"event", "cluster.assign", "node", assign.node, "nodes", assign.nodes,
+		"vertices", assign.n, "edges", assign.m)
 	g, err := receiveSections(cc, assign)
 	if err != nil {
 		_ = dataLn.Close()
@@ -551,6 +589,22 @@ type distNode[V, M any] struct {
 	failure  atomic.Pointer[error]
 	wg       sync.WaitGroup
 
+	// tel is never nil (a bare no-op registry when the caller passed
+	// none), mirroring the in-process engine, so the hot path takes no
+	// nil checks. shards[w] belongs to worker w; shC is the shared
+	// control-plane shard (appliers on the transport read loops, the
+	// retry loop, the checkpointer) — safe because Shard slots are
+	// atomics.
+	tel    *telemetry.Registry
+	shards []telemetry.Shard
+	shC    *telemetry.Shard
+
+	// lastShipped is the cumulative NodeStats snapshot as of the last
+	// fStats delta this node shipped (or, on the coordinator, folded into
+	// its own sink). Only the control goroutine (follow/coordinate)
+	// touches it.
+	lastShipped telemetry.NodeStats
+
 	// ckpt is non-nil when the assignment carries a checkpoint plan; see
 	// dist_ckpt.go for the capture/resume protocol.
 	ckpt *distCheckpointer[V, M]
@@ -596,6 +650,19 @@ func newDistNode[V, M any](g *graph.Graph, a distAssign, prog bcd.Program[V, M],
 	}
 	if w := a.maxUnackedOrDefault(); w > 0 {
 		d.window = make(chan struct{}, w)
+	}
+	d.tel = tr.opts.Telemetry
+	if d.tel == nil {
+		d.tel = telemetry.New(telemetry.Options{})
+	}
+	d.shards = d.tel.Shards(a.workersPerNode + 1)
+	d.shC = &d.shards[a.workersPerNode]
+	d.tel.SetVertices(g.NumVertices())
+	if t := d.tel.Tracer(); t != nil {
+		// Node id as the Perfetto pid: merged per-node trace shards show
+		// up as distinct process tracks, and the flow ids below encode the
+		// sending node the same way.
+		t.SetProcess(a.node, fmt.Sprintf("graphabcd-node%d", a.node))
 	}
 	// Initialize owned state exactly like the in-process engine: vertex
 	// values everywhere (cheap, deterministic, needs only degrees), edge
@@ -658,25 +725,36 @@ func (d *distNode[V, M]) fail(err error) {
 }
 
 // start binds the transport and launches the workers and retry loop.
+// The node is ready — joined, assigned, state initialized or restored —
+// once start returns.
 func (d *distNode[V, M]) start() {
 	d.tr.Bind(d.a.nodes, d.deliver)
 	for w := 0; w < d.a.workersPerNode; w++ {
 		d.wg.Add(1)
-		go func(seed uint64) {
+		go func(w int, seed uint64) {
 			defer d.wg.Done()
-			d.workerLoop(seed)
-		}(uint64(d.a.node*d.a.workersPerNode + w + 1))
+			d.workerLoop(w, seed)
+		}(w, uint64(d.a.node*d.a.workersPerNode+w+1))
 	}
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
 		d.retryLoop()
 	}()
+	if h := d.tr.opts.Health; h != nil {
+		h.SetReady(true, "running")
+	}
+	obslog.L().Info("dist node running",
+		"event", "dist.start", "node", d.a.node,
+		"blocks", d.blockHi-d.blockLo, "workers", d.a.workersPerNode)
 }
 
 // shutdown stops the workers and closes the transport; safe to call
 // more than once.
 func (d *distNode[V, M]) shutdown() {
+	if h := d.tr.opts.Health; h != nil {
+		h.SetReady(false, "stopped")
+	}
 	d.stopping.Store(true)
 	select {
 	case <-d.done:
@@ -711,6 +789,8 @@ func (d *distNode[V, M]) deliver(to int, e cluster.Envelope) {
 func (d *distNode[V, M]) applyEnvelope(e cluster.Envelope) {
 	d.applyMu.Lock()
 	defer d.applyMu.Unlock()
+	aStart := d.tel.Stamp()
+	d.shC.FlowRecv(e.From(), e.ID(), aStart)
 	words := d.cache.Words()
 	slots, blocks, wordsIn := e.Slots(), e.Blocks(), e.Words()
 	if len(blocks) != len(slots) || len(wordsIn) != len(slots)*words {
@@ -738,6 +818,16 @@ func (d *distNode[V, M]) applyEnvelope(e cluster.Envelope) {
 		}
 	}
 	d.applied.Add(1)
+	if end := d.tel.Stamp(); end > 0 {
+		d.shC.Observe(telemetry.StageApply, end-aStart)
+		// Cross-node propagation delay stands in for the staleness the
+		// in-process engine measures in milli-epochs: how long this batch's
+		// values were in flight (sender's scatter to this apply), in ms —
+		// the bounded-delay quantity async-BCD convergence reasons about.
+		if sentAt := e.SentAt(); !sentAt.IsZero() {
+			d.shC.Observe(telemetry.StageStaleness, int64(time.Since(sentAt)/time.Millisecond))
+		}
+	}
 }
 
 // settle clears one unacked batch on first ack; duplicate acks find the
@@ -761,7 +851,7 @@ func (d *distNode[V, M]) settle(id uint64) {
 }
 
 // workerLoop mirrors the in-process engine's worker for a single node.
-func (d *distNode[V, M]) workerLoop(seed uint64) {
+func (d *distNode[V, M]) workerLoop(w int, seed uint64) {
 	defer func() {
 		if r := recover(); r != nil {
 			d.fail(fmt.Errorf("tcp: dist worker panic: %v", r))
@@ -773,6 +863,7 @@ func (d *distNode[V, M]) workerLoop(seed uint64) {
 		return
 	}
 	ws := newDistWorkerState(d.prog, d.a)
+	ws.sh = &d.shards[w]
 	spins := 0
 	for !d.stopping.Load() {
 		b, ok := sch.Next()
@@ -799,7 +890,8 @@ type distWorkerState[V, M any] struct {
 	buf      []uint64
 	enc      []uint64 // encoded scatter value
 	deltas   []float64
-	pending  []distBatch // one building batch per destination node
+	pending  []distBatch      // one building batch per destination node
+	sh       *telemetry.Shard // this worker's telemetry shard
 }
 
 type distBatch struct {
@@ -831,6 +923,8 @@ func (d *distNode[V, M]) processBlock(b int, ws *distWorkerState[V, M]) {
 		ws.deltas = make([]float64, hi-lo) //abcdlint:ignore hotpath -- amortized: grows once to the largest owned block, then reused
 	}
 	deltas := ws.deltas[:hi-lo]
+	gStart := d.tel.Stamp()
+	var edges int64
 	for v := lo; v < hi; v++ {
 		d.values.LoadBuf(int64(v), &ws.old, ws.buf)
 		d.prog.ResetAccum(&ws.acc)
@@ -839,6 +933,7 @@ func (d *distNode[V, M]) processBlock(b int, ws *distWorkerState[V, M]) {
 			d.cache.LoadBuf(s, &ws.src, ws.buf)
 			d.prog.EdgeGather(&ws.acc, ws.old, d.g.InWeight(s), ws.src)
 		}
+		edges += shi - slo
 		newVal := d.prog.Apply(uint32(v), ws.old, &ws.acc, shi-slo, d.g)
 		if d.prog.Delta(ws.old, newVal) == 0 {
 			deltas[v-lo] = 0
@@ -849,10 +944,17 @@ func (d *distNode[V, M]) processBlock(b int, ws *distWorkerState[V, M]) {
 			d.prog.ScatterValue(uint32(v), newVal, d.g))
 		d.values.StoreBuf(int64(v), newVal, ws.buf)
 	}
+	ws.sh.Add(telemetry.CtrBlockUpdates, 1)
+	ws.sh.Add(telemetry.CtrVertexUpdates, int64(hi-lo))
+	ws.sh.Add(telemetry.CtrEdgesTraversed, edges)
+	sStart := d.tel.Stamp()
+	ws.sh.Observe(telemetry.StageGather, sStart-gStart)
+	ws.sh.Trace(telemetry.StageGather, b, gStart, sStart-gStart)
 
 	// Scatter: local slots store directly; remote slots batch into
 	// state-based messages for their owner node.
 	codec := d.prog.Codec()
+	var writes, locals int64
 	for v := lo; v < hi; v++ {
 		delta := deltas[v-lo]
 		if delta <= d.a.epsilon {
@@ -865,9 +967,11 @@ func (d *distNode[V, M]) processBlock(b int, ws *distWorkerState[V, M]) {
 			slot := d.g.OutPos(i)
 			db := d.part.BlockOf(d.g.OutDst(i))
 			owner := d.owner(db)
+			writes++
 			if owner == d.a.node {
 				d.cache.StoreBuf(slot, sval, ws.buf)
 				d.st.Activate(db, delta)
+				locals++
 				continue
 			}
 			p := &ws.pending[owner]
@@ -875,21 +979,27 @@ func (d *distNode[V, M]) processBlock(b int, ws *distWorkerState[V, M]) {
 			p.blocks = append(p.blocks, int32(db)) //abcdlint:ignore hotalloc,hotpath -- amortized: flush resets the batch to [:0], capacity is retained
 			p.words = append(p.words, ws.enc...)   //abcdlint:ignore hotalloc,hotpath -- amortized: flush resets the batch to [:0], capacity is retained
 			if len(p.slots) >= d.a.batchSize {
-				d.flush(owner, p)
+				d.flush(owner, p, ws.sh)
 			}
 		}
 	}
 	for owner := range ws.pending {
 		if len(ws.pending[owner].slots) > 0 {
-			d.flush(owner, &ws.pending[owner])
+			d.flush(owner, &ws.pending[owner], ws.sh)
 		}
+	}
+	ws.sh.Add(telemetry.CtrScatterWrites, writes)
+	ws.sh.Add(telemetry.CtrLocalWrites, locals)
+	if end := d.tel.Stamp(); end > 0 {
+		ws.sh.Observe(telemetry.StageScatter, end-sStart)
+		ws.sh.Trace(telemetry.StageScatter, b, sStart, end-sStart)
 	}
 }
 
 // flush turns the building batch into a data envelope, registers it for
 // at-least-once retry, and hands it to the transport, honoring the
 // MaxUnacked send window.
-func (d *distNode[V, M]) flush(owner int, p *distBatch) {
+func (d *distNode[V, M]) flush(owner int, p *distBatch, sh *telemetry.Shard) {
 	if d.window != nil {
 		select {
 		case d.window <- struct{}{}: //abcdlint:ignore hotpath -- MaxUnacked flow control: one channel op per batch, amortized over BatchSize slot updates
@@ -905,6 +1015,9 @@ func (d *distNode[V, M]) flush(owner int, p *distBatch) {
 	p.slots, p.blocks, p.words = p.slots[:0], p.blocks[:0], p.words[:0]
 	d.totalSent.Add(1)
 	d.inflight.Add(1)
+	sh.Add(telemetry.CtrMessagesSent, int64(len(e.Slots())))
+	sh.Add(telemetry.CtrBatchesSent, 1)
+	sh.FlowSend(owner, e.ID(), d.tel.Stamp())
 	d.unackedMu.Lock()                //abcdlint:ignore hotpath -- at-least-once bookkeeping: one lock per batch, amortized over BatchSize slot updates
 	d.unacked[e.ID()] = &distPending{ //abcdlint:ignore hotalloc,hotpath -- at-least-once bookkeeping: one entry per batch, amortized over BatchSize slot updates
 		to:        owner,
@@ -961,6 +1074,7 @@ func (d *distNode[V, M]) retryLoop() {
 			if d.stopping.Load() {
 				return
 			}
+			d.shC.Add(telemetry.CtrBatchesRetried, 1)
 			d.tr.Send(d.a.node, p.to, p.env)
 		}
 	}
@@ -975,6 +1089,69 @@ func (d *distNode[V, M]) probe() probeReply {
 	}
 }
 
+// collectStats snapshots this node's cumulative telemetry — registry
+// counters and histograms plus the transport's socket counters.
+func (d *distNode[V, M]) collectStats() telemetry.NodeStats {
+	s := d.tel.CollectNodeStats(d.a.node)
+	w := d.tr.WireStats()
+	s.Wire = telemetry.WireCounters{
+		BytesSent: w.BytesSent, FramesSent: w.FramesSent,
+		BytesRecv: w.BytesRecv, FramesRecv: w.FramesRecv,
+		Reconnects: w.Reconnects, Drops: w.Drops,
+		CRCDrops: w.CRCDrops, DecodeErrors: w.DecodeErrors,
+		QueueHighWater: w.QueueHighWater,
+	}
+	return s
+}
+
+// shipStatsDelta returns the delta since the last shipped snapshot and
+// advances the watermark. Only the control goroutine calls it.
+func (d *distNode[V, M]) shipStatsDelta() telemetry.NodeStats {
+	cur := d.collectStats()
+	delta := cur.DeltaFrom(&d.lastShipped)
+	d.lastShipped = cur
+	return delta
+}
+
+// statsRound is one control-lane telemetry aggregation round: the
+// coordinator folds its own delta into the sink, then asks every joiner
+// for theirs. Rounds interleave with probe and checkpoint rounds on the
+// same lockstep control lane; a round reads counters without mutating
+// engine state, so it cannot disturb quiescence detection.
+func (d *distNode[V, M]) statsRound(joiners []*ctrlConn) error {
+	sink := d.tr.opts.Cluster
+	if sink == nil {
+		return nil
+	}
+	begin := time.Now()
+	var waited time.Duration
+	defer func() {
+		span := time.Since(begin)
+		sink.NoteRound(span-waited, span)
+	}()
+	own := d.shipStatsDelta()
+	sink.Apply(&own)
+	for _, j := range joiners {
+		if err := j.write(newFrame(fStats)); err != nil {
+			return fmt.Errorf("tcp: stats round: %w", err)
+		}
+		w0 := time.Now()
+		body, err := j.expect(fStatsReply)
+		waited += time.Since(w0)
+		if err != nil {
+			return fmt.Errorf("tcp: stats reply: %w", err)
+		}
+		ns, err := telemetry.DecodeNodeStats(body[1:])
+		if err != nil {
+			return err
+		}
+		sink.Apply(&ns)
+	}
+	obslog.L().Debug("cluster telemetry round merged",
+		"event", "dist.stats_round", "nodes", sink.Len())
+	return nil
+}
+
 // coordinate runs the coordinator's probe/terminate protocol over the
 // joiner control connections while this process's own node works.
 // Termination: two consecutive probe rounds in which every node is
@@ -987,6 +1164,10 @@ func (d *distNode[V, M]) coordinate(ctx context.Context, joiners []*ctrlConn, pr
 	var nextCkpt time.Time
 	if d.ckpt != nil {
 		nextCkpt = time.Now().Add(d.a.ckptInterval)
+	}
+	var nextStats time.Time
+	if d.tr.opts.Cluster != nil {
+		nextStats = time.Now().Add(d.tr.opts.statsEvery())
 	}
 	for quietRounds < 2 {
 		select {
@@ -1006,6 +1187,13 @@ func (d *distNode[V, M]) coordinate(ctx context.Context, joiners []*ctrlConn, pr
 				return nil, err
 			}
 			nextCkpt = time.Now().Add(d.a.ckptInterval)
+		}
+		// Telemetry aggregation rounds interleave the same way.
+		if !nextStats.IsZero() && !time.Now().Before(nextStats) {
+			if err := d.statsRound(joiners); err != nil {
+				return nil, err
+			}
+			nextStats = time.Now().Add(d.tr.opts.statsEvery())
 		}
 		round := make([]probeReply, 0, len(joiners)+1)
 		round = append(round, d.probe())
@@ -1045,7 +1233,13 @@ func (d *distNode[V, M]) coordinate(ctx context.Context, joiners []*ctrlConn, pr
 		prev = round
 	}
 
-	// Quiesced: stop everyone, collect values.
+	// Quiesced: run one final stats round so the merged snapshot covers
+	// the tail interval, then stop everyone and collect values.
+	if err := d.statsRound(joiners); err != nil {
+		return nil, err
+	}
+	obslog.L().Info("cluster quiescent, collecting values",
+		"event", "dist.quiesce", "nodes", d.a.nodes)
 	var sent int64
 	for _, r := range prev {
 		sent += int64(r.sent)
@@ -1069,6 +1263,7 @@ func (d *distNode[V, M]) coordinate(ctx context.Context, joiners []*ctrlConn, pr
 		}
 	}
 	res.WallTime = time.Since(start)
+	res.Wire = d.tr.WireStats()
 	fillResult(res, vals)
 	return res, nil
 }
@@ -1100,6 +1295,11 @@ func (d *distNode[V, M]) follow(ctx context.Context, cc *ctrlConn) error {
 		switch body[0] {
 		case fProbe:
 			if err := cc.write(appendProbeReply(newFrame(fProbeReply), d.probe())); err != nil {
+				return err
+			}
+		case fStats:
+			delta := d.shipStatsDelta()
+			if err := cc.write(telemetry.AppendNodeStats(newFrame(fStatsReply), &delta)); err != nil {
 				return err
 			}
 		case fCkpt:

@@ -26,7 +26,22 @@ import (
 	"time"
 
 	"graphabcd/internal/checkpoint"
+	"graphabcd/internal/obslog"
+	"graphabcd/internal/telemetry"
 )
+
+// countingWriter counts the bytes an encode pushes through it, so the
+// checkpoint cost counters reflect actual state file sizes.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
 
 // distCheckpointer is one node's view of the cluster checkpoint plan.
 type distCheckpointer[V, M any] struct {
@@ -69,6 +84,7 @@ func (d *distNode[V, M]) ownedSlotRange() (int64, int64) {
 // workers use, while the workers keep running.
 func (dc *distCheckpointer[V, M]) captureNode(epoch uint64) error {
 	d := dc.d
+	ckStart := d.tel.Stamp()
 	vlo, vhi := d.ownedVertexRange()
 	slo, shi := d.ownedSlotRange()
 	words := d.values.Words()
@@ -92,11 +108,20 @@ func (dc *distCheckpointer[V, M]) captureNode(epoch uint64) error {
 	for s := slo; s < shi; s++ {
 		st.Stamps[s-slo] = d.slotSeq[s].Load()
 	}
+	var written int64
 	if err := dc.store.WriteState(dc.runID, epoch, d.a.node, func(w io.Writer) error {
-		return checkpoint.Encode(w, st)
+		cw := &countingWriter{w: w}
+		err := checkpoint.Encode(cw, st)
+		written = cw.n
+		return err
 	}); err != nil {
 		return err
 	}
+	// The durability cost of this epoch, on the control-plane shard: the
+	// capture runs on the control goroutine, never a worker.
+	d.shC.Add(telemetry.CtrCkptEpochs, 1)
+	d.shC.Add(telemetry.CtrCkptBytes, written)
+	d.shC.Observe(telemetry.StageCkpt, d.tel.Stamp()-ckStart)
 	dc.epoch = epoch
 	return nil
 }
@@ -110,6 +135,14 @@ func (dc *distCheckpointer[V, M]) captureNode(epoch uint64) error {
 func (dc *distCheckpointer[V, M]) resumeNode() error {
 	d := dc.d
 	epoch := d.a.resumeEpoch
+	// A scrape mid-restore would read a half-restored iterate: the node
+	// is explicitly not ready until the rebuild below completes (start()
+	// flips it back).
+	if h := d.tr.opts.Health; h != nil {
+		h.SetReady(false, "checkpoint resume")
+	}
+	obslog.L().Info("resuming from checkpoint",
+		"event", "ckpt.resume", "node", d.a.node, "runID", dc.runID, "epoch", epoch)
 	n := int64(d.g.NumVertices())
 	nb := int64(d.part.NumBlocks())
 	words := d.values.Words()
@@ -232,7 +265,7 @@ func (d *distNode[V, M]) checkpointRound(joiners []*ctrlConn) error {
 			return fmt.Errorf("tcp: node %d acked checkpoint epoch %d, want %d", i+1, got, epoch)
 		}
 	}
-	return dc.store.Commit(&checkpoint.Manifest{
+	if err := dc.store.Commit(&checkpoint.Manifest{
 		RunID:       dc.runID,
 		Epoch:       epoch,
 		Nodes:       d.a.nodes,
@@ -242,5 +275,10 @@ func (d *distNode[V, M]) checkpointRound(joiners []*ctrlConn) error {
 		NumVertices: int64(d.g.NumVertices()),
 		NumBlocks:   int64(d.part.NumBlocks()),
 		SavedUnixMs: time.Now().UnixMilli(),
-	})
+	}); err != nil {
+		return err
+	}
+	obslog.L().Info("checkpoint epoch committed",
+		"event", "ckpt.commit", "runID", dc.runID, "epoch", epoch, "nodes", d.a.nodes)
+	return nil
 }

@@ -46,6 +46,8 @@ const (
 	fError      byte = 12 // either direction: fatal error, utf-8 message
 	fCkpt       byte = 13 // coordinator -> joiner: capture checkpoint epoch (u64)
 	fCkptAck    byte = 14 // joiner -> coordinator: epoch (u64) state file durable
+	fStats      byte = 15 // coordinator -> joiner: ship your telemetry delta
+	fStatsReply byte = 16 // joiner -> coordinator: one NodeStats delta record
 )
 
 const (

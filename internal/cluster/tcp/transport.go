@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"graphabcd/internal/cluster"
+	"graphabcd/internal/obslog"
 	"graphabcd/internal/telemetry"
 )
 
@@ -36,6 +37,29 @@ type Options struct {
 	// autotuned buffers let senders run megabytes ahead of what the
 	// receiver will ever apply. 0 keeps the OS default.
 	SocketBuffer int
+
+	// The fields below tune the dist node runtime riding on this
+	// transport (Serve/Join), not the sockets themselves; the transport
+	// ignores them. They live here so a joiner can opt into the
+	// observability plane through Join's existing Options parameter.
+
+	// Cluster is the coordinator's merged telemetry sink; nil disables
+	// fStats aggregation rounds. Joiners leave it nil — they only ship
+	// deltas when asked.
+	Cluster *telemetry.ClusterStats
+	// StatsEvery is the coordinator's aggregation period (default 500ms
+	// when Cluster is set).
+	StatsEvery time.Duration
+	// Health, when non-nil, tracks the node's readiness transitions for
+	// the /readyz endpoint.
+	Health *telemetry.Health
+}
+
+func (o Options) statsEvery() time.Duration {
+	if o.StatsEvery <= 0 {
+		return 500 * time.Millisecond
+	}
+	return o.StatsEvery
 }
 
 func (o Options) dialBackoff() time.Duration {
@@ -78,6 +102,11 @@ type WireStats struct {
 	// DecodeErrors counts connections killed by stream desync: a
 	// framing error or an envelope that failed to decode.
 	DecodeErrors int64
+	// QueueHighWater is the deepest outbound data queue observed at
+	// enqueue time across all links — a watermark, not a counter. A
+	// value near QueueDepth means workers spent time blocked on wire
+	// backpressure.
+	QueueHighWater int64
 }
 
 // link is the outbound side toward one destination node, drained by a
@@ -125,6 +154,7 @@ type Transport struct {
 	drops                 atomic.Int64
 	crcDrops              atomic.Int64
 	decodeErrors          atomic.Int64
+	queueHighWater        atomic.Int64
 }
 
 var _ cluster.Transport = (*Transport)(nil)
@@ -207,6 +237,7 @@ func (t *Transport) Bind(numNodes int, deliver func(int, cluster.Envelope)) {
 		reg.RegisterGauge("wire_frames_recv", gauge(&t.framesRecv))
 		reg.RegisterGauge("wire_reconnects", gauge(&t.reconnects))
 		reg.RegisterGauge("wire_drops", gauge(&t.drops))
+		reg.RegisterGauge("wire_queue_high_water", gauge(&t.queueHighWater))
 	}
 }
 
@@ -234,6 +265,11 @@ func (t *Transport) Send(from, to int, e cluster.Envelope) {
 			t.drops.Add(1)
 		}
 		return
+	}
+	if depth := int64(len(l.dataQ)) + 1; depth > t.queueHighWater.Load() {
+		// Racy max (two senders may both store), but the watermark only
+		// ever moves up and an off-by-one-frame reading is harmless.
+		t.queueHighWater.Store(depth)
 	}
 	select {
 	case l.dataQ <- b:
@@ -280,10 +316,11 @@ func (t *Transport) WireStats() WireStats {
 	return WireStats{
 		BytesSent: t.bytesSent.Load(), FramesSent: t.framesSent.Load(),
 		BytesRecv: t.bytesRecv.Load(), FramesRecv: t.framesRecv.Load(),
-		Reconnects:   t.reconnects.Load(),
-		Drops:        t.drops.Load(),
-		CRCDrops:     t.crcDrops.Load(),
-		DecodeErrors: t.decodeErrors.Load(),
+		Reconnects:     t.reconnects.Load(),
+		Drops:          t.drops.Load(),
+		CRCDrops:       t.crcDrops.Load(),
+		DecodeErrors:   t.decodeErrors.Load(),
+		QueueHighWater: t.queueHighWater.Load(),
 	}
 }
 
@@ -356,11 +393,15 @@ func (t *Transport) readLoop(node int, conn net.Conn) {
 			// connection (and everything buffered behind it). The
 			// sender's retry accounting re-earns the lost envelope.
 			t.crcDrops.Add(1)
+			obslog.L().Warn("frame dropped on crc mismatch",
+				"event", "wire.crc_drop", "node", node, "err", err)
 			continue
 		}
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !t.shut.Load() {
 				t.decodeErrors.Add(1)
+				obslog.L().Warn("connection killed on stream desync",
+					"event", "wire.desync", "node", node, "err", err)
 			}
 			return
 		}
@@ -484,6 +525,8 @@ func (t *Transport) dialLink(l *link) *net.TCPConn {
 	}
 	if l.everConn {
 		t.reconnects.Add(1)
+		obslog.L().Info("peer connection re-established",
+			"event", "wire.reconnect", "peer", l.addr)
 	}
 	l.everConn = true
 	tc := conn.(*net.TCPConn)

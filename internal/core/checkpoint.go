@@ -8,8 +8,22 @@ import (
 	"time"
 
 	"graphabcd/internal/checkpoint"
+	"graphabcd/internal/obslog"
 	"graphabcd/internal/telemetry"
 )
+
+// countingWriter counts encoded bytes on their way to the store, so the
+// checkpoint cost counters reflect actual state file sizes.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
 
 // checkpointer drives the single-process crash-safety loop: every
 // Config.Checkpoint.Interval it captures a fuzzy snapshot of the engine —
@@ -48,6 +62,9 @@ func newCheckpointer[V, M any](e *engine[V, M], cc Checkpoint) (*checkpointer[V,
 		// mass; a fuzzy value snapshot cannot conserve it, so a resumed
 		// run would converge to the wrong fixed point. Refuse rather than
 		// resume wrong.
+		obslog.L().Warn("checkpoint request refused",
+			"event", "ckpt.refused", "program", e.prog.Name(),
+			"reason", "operation-based program: in-flight delta mass is not capturable")
 		return nil, fmt.Errorf("core: checkpointing is not supported for operation-based program %q (in-flight delta mass is not captured); use its state-based form", e.prog.Name())
 	}
 	store := cc.Store
@@ -144,6 +161,8 @@ func (ck *checkpointer[V, M]) resume(resumeID string) error {
 	e.resumed = true
 	ck.runID = m.RunID
 	ck.epoch = m.Epoch
+	obslog.L().Info("resumed from checkpoint",
+		"event", "ckpt.resume", "runID", m.RunID, "epoch", m.Epoch)
 	return nil
 }
 
@@ -211,6 +230,7 @@ func (ck *checkpointer[V, M]) capture() error {
 	e := ck.e
 	e.ckptGen.Add(1) // odd: capture in progress
 	defer e.ckptGen.Add(1)
+	ckStart := e.tel.Stamp()
 	n := int64(e.g.NumVertices())
 	nb := e.part.NumBlocks()
 	e.values.SnapshotWords(0, n, ck.valbuf)
@@ -228,8 +248,12 @@ func (ck *checkpointer[V, M]) capture() error {
 		},
 	}
 	epoch := ck.epoch + 1
+	var written int64
 	if err := ck.store.WriteState(ck.runID, epoch, 0, func(w io.Writer) error {
-		return checkpoint.Encode(w, st)
+		cw := &countingWriter{w: w}
+		err := checkpoint.Encode(cw, st)
+		written = cw.n
+		return err
 	}); err != nil {
 		return err
 	}
@@ -241,6 +265,14 @@ func (ck *checkpointer[V, M]) capture() error {
 	}); err != nil {
 		return err
 	}
+	// The epoch's durability cost, observed on the checkpoint goroutine's
+	// shard (sh0 belongs to the engine's housekeeping goroutines, whose
+	// counter slots are atomics — concurrent adds are safe).
+	e.sh0.Add(telemetry.CtrCkptEpochs, 1)
+	e.sh0.Add(telemetry.CtrCkptBytes, written)
+	e.sh0.Observe(telemetry.StageCkpt, e.tel.Stamp()-ckStart)
+	obslog.L().Info("checkpoint epoch committed",
+		"event", "ckpt.commit", "runID", ck.runID, "epoch", epoch, "bytes", written)
 	ck.epoch = epoch
 	return nil
 }

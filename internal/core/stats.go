@@ -33,8 +33,12 @@ type Stats struct {
 	// progress was observed — a liveness signal for hung or partitioned
 	// runs that surfaces even when the run eventually completes.
 	StallWindows int64
-	WallTime     time.Duration
-	SimTimeNs    float64 // accelerator-model makespan (0 without Sim)
+	// CkptEpochs counts checkpoint epochs captured during the run and
+	// CkptBytes the state bytes they wrote — the run's durability cost.
+	CkptEpochs int64
+	CkptBytes  int64
+	WallTime   time.Duration
+	SimTimeNs  float64 // accelerator-model makespan (0 without Sim)
 }
 
 // MTEPS returns millions of traversed edges per second of wall time, the
@@ -59,6 +63,8 @@ func statsFromTelemetry(tel *telemetry.Registry, numVertices int, converged bool
 		HybridBlocks:   t[telemetry.CtrHybridBlocks],
 		Converged:      converged,
 		StallWindows:   t[telemetry.CtrStallWindows],
+		CkptEpochs:     t[telemetry.CtrCkptEpochs],
+		CkptBytes:      t[telemetry.CtrCkptBytes],
 		WallTime:       wall,
 	}
 	if numVertices > 0 {

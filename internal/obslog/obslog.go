@@ -1,0 +1,85 @@
+// Package obslog is the repo's structured logging seam, a thin policy
+// layer over log/slog. Library packages (the TCP runtime, the checkpoint
+// store, the chaos transports) log through L() and never configure
+// anything; the binary decides once — level, format, sink, per-node
+// attributes — via Init. Until Init runs, every record is discarded, so
+// libraries can log unconditionally and tests stay silent for free.
+//
+// The event catalog lives in DESIGN.md §13: every log line carries an
+// "event" attribute naming the protocol moment (join, assign, reconnect,
+// crc_drop, ckpt_commit, ...) so machine consumers filter on one key
+// instead of parsing message prose.
+package obslog
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// logger holds the process-wide logger. An atomic pointer, not a mutex:
+// L() sits on connection-handling paths that must not serialize on a
+// lock, and replacement (Init) happens once at startup.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(slog.DiscardHandler))
+}
+
+// L returns the process logger. Safe from any goroutine; never nil.
+func L() *slog.Logger {
+	return logger.Load()
+}
+
+// With returns the process logger extended with attrs — the way a
+// subsystem stamps every one of its records (e.g. node id, run id)
+// without threading a logger through every call.
+func With(args ...any) *slog.Logger {
+	return L().With(args...)
+}
+
+// ParseLevel maps the CLI's -log-level strings onto slog levels. Unknown
+// strings report false and leave the caller to refuse the flag.
+func ParseLevel(s string) (slog.Level, bool) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, true
+	case "info":
+		return slog.LevelInfo, true
+	case "warn", "warning":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	}
+	return 0, false
+}
+
+// Init installs the process logger: records at or above level go to w in
+// the given format ("json" for machine-parseable NDJSON, "text" for
+// human-readable key=value), stamped with attrs on every line. Format
+// strings other than "json"/"text" report false and install nothing.
+// Call once from main before any subsystem starts; calling again
+// replaces the logger (tests use this to capture output).
+func Init(level slog.Level, format string, w io.Writer, attrs ...slog.Attr) bool {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch format {
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	case "text":
+		h = slog.NewTextHandler(w, opts)
+	default:
+		return false
+	}
+	if len(attrs) > 0 {
+		h = h.WithAttrs(attrs)
+	}
+	logger.Store(slog.New(h))
+	return true
+}
+
+// Reset restores the silent default logger. Test hook.
+func Reset() {
+	logger.Store(slog.New(slog.DiscardHandler))
+}

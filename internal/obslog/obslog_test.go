@@ -1,0 +1,93 @@
+package obslog
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDefaultIsSilentAndNonNil(t *testing.T) {
+	Reset()
+	if L() == nil {
+		t.Fatal("L() returned nil before Init")
+	}
+	// Must not panic and must not write anywhere.
+	L().Info("dropped", "k", "v")
+	With("node", 3).Warn("also dropped")
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn,
+		"error": slog.LevelError, "INFO": slog.LevelInfo,
+	}
+	for s, want := range cases {
+		got, ok := ParseLevel(s)
+		if !ok || got != want {
+			t.Fatalf("ParseLevel(%q) = %v,%v want %v,true", s, got, ok, want)
+		}
+	}
+	if _, ok := ParseLevel("verbose"); ok {
+		t.Fatal("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestInitJSONCarriesAttrsAndLevel(t *testing.T) {
+	defer Reset()
+	var buf bytes.Buffer
+	if !Init(slog.LevelInfo, "json", &buf, slog.Int("node", 2), slog.String("runID", "r1")) {
+		t.Fatal("Init rejected json format")
+	}
+	L().Debug("below threshold")
+	L().Info("joined", "event", "join", "addr", "127.0.0.1:9")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1 (debug must be filtered): %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v", err)
+	}
+	if rec["msg"] != "joined" || rec["event"] != "join" || rec["node"] != float64(2) || rec["runID"] != "r1" {
+		t.Fatalf("record missing fields: %v", rec)
+	}
+}
+
+func TestInitRejectsUnknownFormat(t *testing.T) {
+	defer Reset()
+	var buf bytes.Buffer
+	if Init(slog.LevelInfo, "yaml", &buf) {
+		t.Fatal("Init accepted an unknown format")
+	}
+}
+
+func TestConcurrentLogAndInit(t *testing.T) {
+	defer Reset()
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				L().Info("tick")
+			}
+		}()
+	}
+	Init(slog.LevelInfo, "text", w)
+	wg.Wait()
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

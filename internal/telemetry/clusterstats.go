@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ClusterStats is the coordinator's merged cluster telemetry: one
+// accumulated NodeStats per node id, built by folding in the deltas the
+// fStats rounds collect. Safe for concurrent use — the aggregation
+// round writes while the metrics endpoint and the post-run report read.
+type ClusterStats struct {
+	mu        sync.Mutex
+	nodes     map[int]*NodeStats
+	rounds    int64
+	workNanos int64
+	spanNanos int64
+}
+
+// NewClusterStats returns an empty cluster snapshot.
+func NewClusterStats() *ClusterStats {
+	return &ClusterStats{nodes: make(map[int]*NodeStats)}
+}
+
+// Apply folds one node delta into the cluster snapshot. Deltas from the
+// same node must arrive in ship order (the control lane is lockstep per
+// node); deltas from different nodes commute, so round interleaving
+// across nodes cannot change the result.
+func (c *ClusterStats) Apply(d *NodeStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	acc, ok := c.nodes[d.Node]
+	if !ok {
+		acc = &NodeStats{Node: d.Node}
+		c.nodes[d.Node] = acc
+	}
+	acc.merge(d)
+}
+
+// Nodes returns a copy of every node's accumulated stats, sorted by
+// node id.
+func (c *ClusterStats) Nodes() []NodeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeStats, 0, len(c.nodes))
+	for _, s := range c.nodes {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
+	return out
+}
+
+// Node returns one node's accumulated stats.
+func (c *ClusterStats) Node(id int) (NodeStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.nodes[id]
+	if !ok {
+		return NodeStats{}, false
+	}
+	return *s, true
+}
+
+// Total merges every node into one cluster-wide NodeStats (Node = -1):
+// counters and histograms sum, watermarks take the cluster max.
+func (c *ClusterStats) Total() NodeStats {
+	total := NodeStats{Node: -1}
+	for _, s := range c.Nodes() {
+		total.merge(&s)
+	}
+	return total
+}
+
+// Len returns how many nodes have reported.
+func (c *ClusterStats) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// NoteRound records one completed aggregation round — the plane
+// measures its own cost, so "what is aggregation costing this run" is
+// an answerable question (and the quantity scripts/bench.sh records as
+// dist_stats_overhead_pct). work is the time the coordinator spent
+// computing: snapshotting its registry, encoding, decoding replies,
+// merging. span is the round's full wall duration including the waits
+// for every joiner's reply; the gap between the two is idle time the
+// workers keep for themselves, which on an oversubscribed machine
+// (goroutine scheduling latency) dwarfs the work.
+func (c *ClusterStats) NoteRound(work, span time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rounds++
+	c.workNanos += int64(work)
+	c.spanNanos += int64(span)
+}
+
+// RoundCost returns how many aggregation rounds have run, the total
+// coordinator compute time they consumed (work), and their total wall
+// duration (span). Rounds execute serially on the control goroutine,
+// so span bounds from above how much the rounds can have delayed probe
+// rounds — and therefore termination; work is the CPU actually spent
+// aggregating.
+func (c *ClusterStats) RoundCost() (rounds int64, work, span time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rounds, time.Duration(c.workNanos), time.Duration(c.spanNanos)
+}

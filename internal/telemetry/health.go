@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"net/http"
+	"sync"
+)
+
+// Health tracks one node's liveness/readiness for the /healthz and
+// /readyz endpoints (DESIGN.md §13). Liveness is trivial — the process
+// answering HTTP is alive. Readiness means the node has joined its
+// cluster and started its workers, and goes false again while a
+// checkpoint resume rewrites the node's state (a scrape mid-restore
+// would read a half-restored iterate). Every transition records a
+// reason; History exposes the transition log so tests can assert the
+// readiness dance deterministically instead of racing a poll loop.
+type Health struct {
+	mu      sync.Mutex
+	ready   bool
+	reason  string
+	history []HealthTransition
+}
+
+// HealthTransition is one recorded readiness change.
+type HealthTransition struct {
+	Ready  bool
+	Reason string
+}
+
+// NewHealth returns a not-ready Health with the given initial reason
+// (e.g. "starting").
+func NewHealth(reason string) *Health {
+	h := &Health{}
+	h.SetReady(false, reason)
+	return h
+}
+
+// SetReady records a readiness transition. Idempotent sets (same state,
+// same reason) are not re-recorded.
+func (h *Health) SetReady(ready bool, reason string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.history) > 0 && h.ready == ready && h.reason == reason {
+		return
+	}
+	h.ready = ready
+	h.reason = reason
+	h.history = append(h.history, HealthTransition{Ready: ready, Reason: reason})
+}
+
+// Ready returns the current readiness and its reason.
+func (h *Health) Ready() (bool, string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ready, h.reason
+}
+
+// History returns a copy of every recorded transition, oldest first.
+func (h *Health) History() []HealthTransition {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HealthTransition, len(h.history))
+	copy(out, h.history)
+	return out
+}
+
+// HealthzHandler serves liveness: always 200 while the process answers.
+func HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
+// ReadyzHandler serves readiness: 200 with "ok" when ready, 503 with
+// the not-ready reason otherwise. A nil Health is permanently ready —
+// single-process runs have no join/resume dance to gate on.
+func ReadyzHandler(h *Health) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if h == nil {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ok\n"))
+			return
+		}
+		ready, reason := h.Ready()
+		if ready {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ok\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("not ready: " + reason + "\n"))
+	})
+}

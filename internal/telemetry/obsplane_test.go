@@ -1,0 +1,493 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// --- node stats codec ----------------------------------------------------
+
+func sampleNodeStats(node int, seed int64) NodeStats {
+	rng := rand.New(rand.NewSource(seed))
+	s := NodeStats{Node: node}
+	for c := range s.Counters {
+		s.Counters[c] = rng.Int63n(1 << 40)
+	}
+	for st := range s.Stages {
+		s.Stages[st].Sum = rng.Int63n(1 << 40)
+		s.Stages[st].Max = rng.Int63n(1 << 40)
+		for b := range s.Stages[st].Buckets {
+			s.Stages[st].Buckets[b] = rng.Int63n(1 << 20)
+		}
+	}
+	s.Wire = WireCounters{
+		BytesSent: rng.Int63n(1 << 40), FramesSent: rng.Int63n(1 << 30),
+		BytesRecv: rng.Int63n(1 << 40), FramesRecv: rng.Int63n(1 << 30),
+		Reconnects: rng.Int63n(100), Drops: rng.Int63n(100),
+		CRCDrops: rng.Int63n(100), DecodeErrors: rng.Int63n(100),
+		QueueHighWater: rng.Int63n(1 << 10),
+	}
+	return s
+}
+
+func TestNodeStatsCodecRoundTrip(t *testing.T) {
+	for node := 0; node < 4; node++ {
+		want := sampleNodeStats(node, int64(node)+7)
+		b := AppendNodeStats(nil, &want)
+		if len(b) != NodeStatsWireSize {
+			t.Fatalf("encoded %d bytes, want NodeStatsWireSize=%d", len(b), NodeStatsWireSize)
+		}
+		got, err := DecodeNodeStats(b)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != want {
+			t.Fatalf("node %d round trip mismatch", node)
+		}
+	}
+}
+
+func TestNodeStatsDecodeRejects(t *testing.T) {
+	s := sampleNodeStats(1, 42)
+	b := AppendNodeStats(nil, &s)
+
+	if _, err := DecodeNodeStats(b[:len(b)-1]); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, err := DecodeNodeStats(append(append([]byte(nil), b...), 0)); err == nil {
+		t.Error("long record accepted")
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] = nodeStatsVersion + 1
+	if _, err := DecodeNodeStats(bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+	huge := s
+	huge.Node = 1 << 21
+	if _, err := DecodeNodeStats(AppendNodeStats(nil, &huge)); err == nil {
+		t.Error("out-of-range node id accepted")
+	}
+}
+
+// --- delta / merge semantics ---------------------------------------------
+
+func TestNodeStatsDeltaFrom(t *testing.T) {
+	last := sampleNodeStats(2, 1)
+	cur := last
+	cur.Counters[CtrMessagesSent] += 10
+	cur.Stages[StageApply].Sum += 100
+	cur.Stages[StageApply].Buckets[3] += 4
+	cur.Stages[StageApply].Max = last.Stages[StageApply].Max + 5
+	cur.Wire.BytesSent += 1000
+	cur.Wire.QueueHighWater = last.Wire.QueueHighWater + 2
+
+	d := cur.DeltaFrom(&last)
+	if d.Counters[CtrMessagesSent] != 10 {
+		t.Errorf("counter delta = %d, want 10", d.Counters[CtrMessagesSent])
+	}
+	if d.Counters[CtrBlockUpdates] != 0 {
+		t.Errorf("unchanged counter delta = %d, want 0", d.Counters[CtrBlockUpdates])
+	}
+	if d.Stages[StageApply].Sum != 100 || d.Stages[StageApply].Buckets[3] != 4 {
+		t.Errorf("stage delta = sum %d buckets[3] %d, want 100/4",
+			d.Stages[StageApply].Sum, d.Stages[StageApply].Buckets[3])
+	}
+	// Watermarks ship cumulative, not subtracted.
+	if d.Stages[StageApply].Max != cur.Stages[StageApply].Max {
+		t.Errorf("stage max delta = %d, want cumulative %d", d.Stages[StageApply].Max, cur.Stages[StageApply].Max)
+	}
+	if d.Wire.BytesSent != 1000 {
+		t.Errorf("wire delta = %d, want 1000", d.Wire.BytesSent)
+	}
+	if d.Wire.QueueHighWater != cur.Wire.QueueHighWater {
+		t.Errorf("queue high water delta = %d, want cumulative %d", d.Wire.QueueHighWater, cur.Wire.QueueHighWater)
+	}
+}
+
+// TestClusterStatsMergeDeterminism feeds the same per-node delta
+// sequences into two sinks — one in ship order, one with rounds
+// interleaved across nodes in a shuffled order, applied from concurrent
+// goroutines — and requires identical accumulated snapshots. This is the
+// property that lets fStats rounds interleave freely with probe and
+// checkpoint rounds: per-node order is preserved by the lockstep lane,
+// and cross-node order must not matter.
+func TestClusterStatsMergeDeterminism(t *testing.T) {
+	const nodes, rounds = 4, 8
+	deltas := make([][]NodeStats, nodes)
+	for n := 0; n < nodes; n++ {
+		var last NodeStats
+		last.Node = n
+		for r := 0; r < rounds; r++ {
+			cur := sampleNodeStats(n, int64(n*1000+r))
+			// Make the monotone fields actually monotone across rounds.
+			for c := range cur.Counters {
+				cur.Counters[c] += last.Counters[c]
+			}
+			for st := range cur.Stages {
+				cur.Stages[st].Sum += last.Stages[st].Sum
+				for b := range cur.Stages[st].Buckets {
+					cur.Stages[st].Buckets[b] += last.Stages[st].Buckets[b]
+				}
+			}
+			deltas[n] = append(deltas[n], cur.DeltaFrom(&last))
+			last = cur
+		}
+	}
+
+	ordered := NewClusterStats()
+	for n := 0; n < nodes; n++ {
+		for r := 0; r < rounds; r++ {
+			ordered.Apply(&deltas[n][r])
+		}
+	}
+
+	shuffled := NewClusterStats()
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			// Per-node ship order preserved; cross-node interleaving is
+			// whatever the scheduler does.
+			for r := 0; r < rounds; r++ {
+				shuffled.Apply(&deltas[n][r])
+			}
+		}(n)
+	}
+	wg.Wait()
+
+	a, b := ordered.Nodes(), shuffled.Nodes()
+	if len(a) != nodes || len(b) != nodes {
+		t.Fatalf("node counts %d/%d, want %d", len(a), len(b), nodes)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("node %d: interleaved merge diverged from ordered merge", a[i].Node)
+		}
+	}
+	if ta, tb := ordered.Total(), shuffled.Total(); ta != tb {
+		t.Error("cluster totals diverged")
+	}
+}
+
+func TestClusterStatsTotal(t *testing.T) {
+	c := NewClusterStats()
+	d0 := NodeStats{Node: 0}
+	d0.Counters[CtrVertexUpdates] = 5
+	d0.Wire.QueueHighWater = 3
+	d1 := NodeStats{Node: 1}
+	d1.Counters[CtrVertexUpdates] = 7
+	d1.Wire.QueueHighWater = 9
+	c.Apply(&d0)
+	c.Apply(&d1)
+	tot := c.Total()
+	if tot.Counters[CtrVertexUpdates] != 12 {
+		t.Errorf("total vertex updates = %d, want 12", tot.Counters[CtrVertexUpdates])
+	}
+	if tot.Wire.QueueHighWater != 9 {
+		t.Errorf("total queue high water = %d, want max 9", tot.Wire.QueueHighWater)
+	}
+	if _, ok := c.Node(2); ok {
+		t.Error("unknown node reported present")
+	}
+}
+
+// --- health / readiness --------------------------------------------------
+
+func TestHealthHandlers(t *testing.T) {
+	h := NewHealth("starting")
+
+	rec := httptest.NewRecorder()
+	HealthzHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || rec.Body.String() != "ok\n" {
+		t.Errorf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	ReadyzHandler(h).ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 || rec.Body.String() != "not ready: starting\n" {
+		t.Errorf("readyz not-ready = %d %q", rec.Code, rec.Body.String())
+	}
+
+	h.SetReady(true, "running")
+	rec = httptest.NewRecorder()
+	ReadyzHandler(h).ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 || rec.Body.String() != "ok\n" {
+		t.Errorf("readyz ready = %d %q", rec.Code, rec.Body.String())
+	}
+
+	// A nil Health is permanently ready (single-process runs).
+	rec = httptest.NewRecorder()
+	ReadyzHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Errorf("nil readyz = %d, want 200", rec.Code)
+	}
+}
+
+func TestHealthHistory(t *testing.T) {
+	h := NewHealth("starting")
+	h.SetReady(true, "running")
+	h.SetReady(true, "running") // idempotent: not re-recorded
+	h.SetReady(false, "checkpoint resume")
+	h.SetReady(true, "running")
+	want := []HealthTransition{
+		{false, "starting"},
+		{true, "running"},
+		{false, "checkpoint resume"},
+		{true, "running"},
+	}
+	got := h.History()
+	if len(got) != len(want) {
+		t.Fatalf("history %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("history[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// --- Prometheus exposition ----------------------------------------------
+
+// TestPromExpositionGolden pins the exposition's shape: family order,
+// label formats, sparse cumulative buckets, and the exact rendering of a
+// small fixed input. The counter family iterates the enum so adding a
+// counter extends, rather than breaks, the golden.
+func TestPromExpositionGolden(t *testing.T) {
+	r := New(Options{}) // histograms off: no node-local stage families
+	sh := r.Shards(1)
+	sh[0].Add(CtrBlockUpdates, 7)
+	sh[0].Add(CtrMessagesSent, 3)
+	r.SetVertices(100)
+
+	cluster := NewClusterStats()
+	d := NodeStats{Node: 1}
+	d.Counters[CtrVertexUpdates] = 42
+	d.Wire = WireCounters{BytesSent: 1000, FramesSent: 10, QueueHighWater: 5}
+	d.Stages[StageApply] = StageSnapshot{Sum: 20, Max: 12, Buckets: func() [NumBuckets]int64 {
+		var b [NumBuckets]int64
+		b[4] = 2 // two observations in [8,16) ns
+		return b
+	}()}
+	d.Stages[StageStaleness] = StageSnapshot{Sum: 3, Max: 2, Buckets: func() [NumBuckets]int64 {
+		var b [NumBuckets]int64
+		b[1] = 1 // one observation of 1 milli-epoch
+		return b
+	}()}
+	cluster.Apply(&d)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r, cluster); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+
+	var want bytes.Buffer
+	want.WriteString("# HELP graphabcd_counter_total Sharded run counters, cross-shard totals.\n")
+	want.WriteString("# TYPE graphabcd_counter_total counter\n")
+	nodeVals := map[Counter]int64{CtrBlockUpdates: 7, CtrMessagesSent: 3}
+	for c := Counter(0); c < NumCounters; c++ {
+		fmt.Fprintf(&want, "graphabcd_counter_total{name=%q} %d\n", c.Name(), nodeVals[c])
+	}
+	want.WriteString("# HELP graphabcd_gauge Live engine gauges, sampled at scrape time.\n")
+	want.WriteString("# TYPE graphabcd_gauge gauge\n")
+	want.WriteString("graphabcd_gauge{name=\"vertices\"} 100\n")
+	want.WriteString("graphabcd_gauge{name=\"residual\"} 0\n")
+	want.WriteString("graphabcd_gauge{name=\"active_blocks\"} 0\n")
+	want.WriteString("# HELP graphabcd_cluster_nodes Nodes that have reported telemetry this run.\n")
+	want.WriteString("# TYPE graphabcd_cluster_nodes gauge\n")
+	want.WriteString("graphabcd_cluster_nodes 1\n")
+	want.WriteString("# HELP graphabcd_cluster_counter_total Per-node run counters aggregated over the control lane.\n")
+	want.WriteString("# TYPE graphabcd_cluster_counter_total counter\n")
+	clusterVals := map[Counter]int64{CtrVertexUpdates: 42}
+	for c := Counter(0); c < NumCounters; c++ {
+		fmt.Fprintf(&want, "graphabcd_cluster_counter_total{node=\"1\",name=%q} %d\n", c.Name(), clusterVals[c])
+	}
+	want.WriteString("# HELP graphabcd_cluster_wire_total Per-node transport socket counters.\n")
+	want.WriteString("# TYPE graphabcd_cluster_wire_total counter\n")
+	want.WriteString("graphabcd_cluster_wire_total{node=\"1\",name=\"bytes_sent\"} 1000\n")
+	want.WriteString("graphabcd_cluster_wire_total{node=\"1\",name=\"frames_sent\"} 10\n")
+	want.WriteString("graphabcd_cluster_wire_total{node=\"1\",name=\"bytes_recv\"} 0\n")
+	want.WriteString("graphabcd_cluster_wire_total{node=\"1\",name=\"frames_recv\"} 0\n")
+	want.WriteString("graphabcd_cluster_wire_total{node=\"1\",name=\"reconnects\"} 0\n")
+	want.WriteString("graphabcd_cluster_wire_total{node=\"1\",name=\"drops\"} 0\n")
+	want.WriteString("graphabcd_cluster_wire_total{node=\"1\",name=\"crc_drops\"} 0\n")
+	want.WriteString("graphabcd_cluster_wire_total{node=\"1\",name=\"decode_errors\"} 0\n")
+	want.WriteString("# HELP graphabcd_cluster_wire_queue_high_water Per-node deepest outbound data queue observed.\n")
+	want.WriteString("# TYPE graphabcd_cluster_wire_queue_high_water gauge\n")
+	want.WriteString("graphabcd_cluster_wire_queue_high_water{node=\"1\"} 5\n")
+	want.WriteString("# HELP graphabcd_cluster_stage_duration_seconds Per-node stage latency histograms.\n")
+	want.WriteString("# TYPE graphabcd_cluster_stage_duration_seconds histogram\n")
+	want.WriteString("graphabcd_cluster_stage_duration_seconds_bucket{node=\"1\",stage=\"apply\",le=\"1.6e-08\"} 2\n")
+	want.WriteString("graphabcd_cluster_stage_duration_seconds_bucket{node=\"1\",stage=\"apply\",le=\"+Inf\"} 2\n")
+	want.WriteString("graphabcd_cluster_stage_duration_seconds_sum{node=\"1\",stage=\"apply\"} 2e-08\n")
+	want.WriteString("graphabcd_cluster_stage_duration_seconds_count{node=\"1\",stage=\"apply\"} 2\n")
+	want.WriteString("# HELP graphabcd_cluster_staleness_milliepochs Per-node staleness histograms.\n")
+	want.WriteString("# TYPE graphabcd_cluster_staleness_milliepochs histogram\n")
+	want.WriteString("graphabcd_cluster_staleness_milliepochs_bucket{node=\"1\",le=\"2\"} 1\n")
+	want.WriteString("graphabcd_cluster_staleness_milliepochs_bucket{node=\"1\",le=\"+Inf\"} 1\n")
+	want.WriteString("graphabcd_cluster_staleness_milliepochs_sum{node=\"1\"} 3\n")
+	want.WriteString("graphabcd_cluster_staleness_milliepochs_count{node=\"1\"} 1\n")
+
+	if buf.String() != want.String() {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", buf.String(), want.String())
+	}
+	if strings.Contains(buf.String(), "{}") {
+		t.Error("exposition contains an empty label set")
+	}
+}
+
+// TestPromNodeHistograms covers the node-local stage families (timing
+// on) without pinning timing-dependent bucket positions: shape only.
+func TestPromNodeHistograms(t *testing.T) {
+	r := New(Options{Histograms: true})
+	sh := r.Shards(1)
+	sh[0].Observe(StageGather, 1000)
+	sh[0].Observe(StageStaleness, 3)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r, nil); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		"# TYPE graphabcd_stage_duration_seconds histogram\n",
+		"graphabcd_stage_duration_seconds_bucket{stage=\"gather\",le=\"+Inf\"} 1\n",
+		"graphabcd_stage_duration_seconds_count{stage=\"gather\"} 1\n",
+		"# TYPE graphabcd_staleness_milliepochs histogram\n",
+		"graphabcd_staleness_milliepochs_bucket{le=\"4\"} 1\n",
+		"graphabcd_staleness_milliepochs_count 1\n",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q\n%s", line, out)
+		}
+	}
+	if strings.Contains(out, "graphabcd_cluster_nodes") {
+		t.Error("nil cluster produced cluster families")
+	}
+}
+
+func TestPromHandlerContentType(t *testing.T) {
+	r := New(Options{})
+	rec := httptest.NewRecorder()
+	PromHandler(r, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "graphabcd_counter_total") {
+		t.Errorf("metrics response %d: %q", rec.Code, rec.Body.String())
+	}
+}
+
+// --- cross-node flow events ----------------------------------------------
+
+// TestTraceFlowEvents verifies the Perfetto flow pairing: a send on node
+// 3 and the matching recv on another node carry the same numeric flow id
+// (srcNode<<32 | seq), each anchored in a 1µs slice, with the finish
+// side bound to the enclosing slice ("bp":"e").
+func TestTraceFlowEvents(t *testing.T) {
+	var sendBuf, recvBuf bytes.Buffer
+
+	sendTr := NewTracer(&sendBuf, 1)
+	sendTr.SetProcess(3, "graphabcd-node3")
+	sendReg := New(Options{Tracer: sendTr})
+	ssh := sendReg.Shards(1)
+	ssh[0].FlowSend(1, 77, 2000) // to node 1, seq 77, at t=2µs
+	if err := sendTr.Close(); err != nil {
+		t.Fatalf("send close: %v", err)
+	}
+
+	recvTr := NewTracer(&recvBuf, 1)
+	recvTr.SetProcess(1, "graphabcd-node1")
+	recvReg := New(Options{Tracer: recvTr})
+	rsh := recvReg.Shards(1)
+	rsh[0].FlowRecv(3, 77, 5000) // from node 3, seq 77, at t=5µs
+	if err := recvTr.Close(); err != nil {
+		t.Fatalf("recv close: %v", err)
+	}
+
+	wantID := float64(int64(3)<<32 | 77)
+	sendEvents := decodeTrace(t, sendBuf.Bytes())
+	recvEvents := decodeTrace(t, recvBuf.Bytes())
+
+	s := findEvent(t, sendEvents, "batch", "s")
+	if s["id"] != wantID || s["pid"] != 3.0 {
+		t.Errorf("send flow = %v, want id %v pid 3", s, wantID)
+	}
+	anchor := findEvent(t, sendEvents, "send", "X")
+	if anchor["args"].(map[string]any)["seq"] != 77.0 || anchor["args"].(map[string]any)["peer"] != 1.0 {
+		t.Errorf("send anchor args = %v", anchor["args"])
+	}
+
+	f := findEvent(t, recvEvents, "batch", "f")
+	if f["id"] != wantID || f["pid"] != 1.0 {
+		t.Errorf("recv flow = %v, want id %v pid 1", f, wantID)
+	}
+	if f["bp"] != "e" {
+		t.Errorf(`recv flow missing "bp":"e": %v`, f)
+	}
+	findEvent(t, recvEvents, "recv", "X")
+
+	// Each shard's metadata record names its node as the Perfetto process.
+	for _, evs := range [][]map[string]any{sendEvents, recvEvents} {
+		if evs[0]["ph"] != "M" || evs[0]["name"] != "process_name" {
+			t.Errorf("first record is not process metadata: %v", evs[0])
+		}
+	}
+}
+
+// TestTraceFlowSampling checks flows sample by sequence number on both
+// ends — the same seq is kept or dropped identically, so a sampled trace
+// never shows a dangling arrow.
+func TestTraceFlowSampling(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, 4)
+	r := New(Options{Tracer: tr})
+	sh := r.Shards(1)
+	for seq := uint64(0); seq < 8; seq++ {
+		sh[0].FlowSend(1, seq, int64(seq)*1000)
+		sh[0].FlowRecv(2, seq, int64(seq)*1000+500)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	var sends, recvs int
+	for _, e := range events {
+		switch e["ph"] {
+		case "s":
+			sends++
+		case "f":
+			recvs++
+		}
+	}
+	// seq 0 and 4 survive the 1-in-4 sampling, on both ends.
+	if sends != 2 || recvs != 2 {
+		t.Errorf("sampled %d sends, %d recvs, want 2/2", sends, recvs)
+	}
+}
+
+func decodeTrace(t *testing.T, raw []byte) []map[string]any {
+	t.Helper()
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, raw)
+	}
+	return events
+}
+
+func findEvent(t *testing.T, events []map[string]any, name, ph string) map[string]any {
+	t.Helper()
+	for _, e := range events {
+		if e["name"] == name && e["ph"] == ph {
+			return e
+		}
+	}
+	t.Fatalf("no event name=%q ph=%q in %v", name, ph, events)
+	return nil
+}

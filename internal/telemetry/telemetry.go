@@ -52,6 +52,11 @@ const (
 	CtrBatchesDuplicated
 	CtrNodesFailed
 	CtrTraceDropped
+	// CtrCkptEpochs counts locally captured checkpoint epochs and
+	// CtrCkptBytes the state bytes they wrote — the durability cost that
+	// was previously computed and dropped (ISSUE 9 satellite).
+	CtrCkptEpochs
+	CtrCkptBytes
 	NumCounters
 )
 
@@ -74,6 +79,8 @@ var counterNames = [NumCounters]string{
 	"batches_duplicated",
 	"nodes_failed",
 	"trace_dropped",
+	"ckpt_epochs",
+	"ckpt_bytes",
 }
 
 // Name returns the snapshot key of c.
@@ -100,11 +107,15 @@ const (
 	// and its scatter publishing the results — the bounded-delay quantity
 	// async-BCD convergence theory reasons about.
 	StageStaleness
+	// StageCkpt is one checkpoint epoch's capture latency (ns): the time
+	// from starting the fuzzy state snapshot to the state file being
+	// durable. Observed on the checkpoint goroutine, never a worker.
+	StageCkpt
 	NumStages
 )
 
 var stageNames = [NumStages]string{
-	"gather", "scatter", "accel-wait", "cpu-wait", "apply", "staleness",
+	"gather", "scatter", "accel-wait", "cpu-wait", "apply", "staleness", "checkpoint",
 }
 
 // Name returns the snapshot/trace name of s.
@@ -127,7 +138,7 @@ type Shard struct {
 	counters [NumCounters]atomic.Int64
 	hist     *shardHist
 	ring     *ring
-	_        [112]byte // pad Shard to 256 B: no false sharing between neighbors
+	_        [96]byte // pad Shard to 256 B: no false sharing between neighbors
 }
 
 // Add increments counter c by n.
@@ -169,6 +180,32 @@ func (s *Shard) Trace(st Stage, block int, start, dur int64) {
 		return
 	}
 	r.record(st, block, start, dur)
+}
+
+// FlowSend records the send endpoint of a cross-node message flow: this
+// node shipped envelope seq to peer at ts (a Stamp value). Sampled by
+// seq, so the matching FlowRecv on the peer keeps or drops the same
+// flows. No-op when tracing is disabled.
+//
+//abcd:hotpath
+func (s *Shard) FlowSend(peer int, seq uint64, ts int64) {
+	r := s.ring
+	if r == nil {
+		return
+	}
+	r.recordFlow(kindFlowSend, peer, seq, ts)
+}
+
+// FlowRecv records the receive endpoint of a cross-node message flow:
+// envelope seq from peer arrived at ts. See FlowSend.
+//
+//abcd:hotpath
+func (s *Shard) FlowRecv(peer int, seq uint64, ts int64) {
+	r := s.ring
+	if r == nil {
+		return
+	}
+	r.recordFlow(kindFlowRecv, peer, seq, ts)
 }
 
 // Options configures a Registry. The zero value is the bare counter mode

@@ -1,14 +1,20 @@
 package graphabcd
 
 import (
+	"context"
 	"io"
+	"net"
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
+	"time"
 
 	"graphabcd/internal/bcd"
+	"graphabcd/internal/cluster/tcp"
 	"graphabcd/internal/core"
 	"graphabcd/internal/gen"
+	"graphabcd/internal/graph"
 	"graphabcd/internal/sched"
 	"graphabcd/internal/telemetry"
 )
@@ -135,6 +141,89 @@ func BenchmarkEngineTelemetryHist(b *testing.B) {
 	benchTelemetry(b, func() *telemetry.Registry {
 		return telemetry.New(telemetry.Options{Histograms: true})
 	})
+}
+
+// --- cluster aggregation overhead ----------------------------------------
+//
+// The acceptance bar for the fStats plane (DESIGN.md §13): interleaving
+// telemetry aggregation rounds on the control lane costs at most 2% of a
+// two-node loopback run's wall time at the default 500ms cadence.
+//
+// The cost is SELF-measured, not differenced: the coordinator times
+// every aggregation round (ClusterStats.NoteRound) and the benchmark
+// reports the mean per-round compute cost (us/round) and wall span
+// (lat-us/round); steady-state overhead is the compute cost divided by
+// the cadence (scripts/bench.sh derives the pct at the 500ms default).
+// An off-vs-on wall-time pair cannot resolve the effect — an async
+// run's time-to-convergence varies ±30% with scheduler luck, hundreds
+// of times what a round costs, and no sample count fixes a signal that
+// far under the noise floor. The work/span split matters because a
+// round's wall span is scheduling-dominated when cores are
+// oversubscribed: the reply wait is the joiner's control goroutine
+// preempting a busy worker — on this harness's single core,
+// milliseconds of waiting around microseconds of actual work — and
+// while the coordinator waits, its workers keep the core, so the wait
+// steals no throughput (which is exactly why differencing measures
+// zero). The 20ms benchmark cadence exists to sample several such
+// worst-case mid-run rounds per run.
+
+func distStatsRun(b *testing.B, g *Graph, snap string, sink *telemetry.ClusterStats) time.Duration {
+	b.Helper()
+	coordReg := telemetry.New(telemetry.Options{Histograms: true})
+	joinReg := telemetry.New(telemetry.Options{Histograms: true})
+	cfg := tcp.DistConfig{
+		Nodes: 2, Algo: "pr",
+		BlockSize:      max(16, g.NumVertices()/256),
+		WorkersPerNode: 2, BatchSize: 64,
+		Epsilon:    1e-9,
+		Telemetry:  coordReg,
+		Cluster:    sink,
+		StatsEvery: 20 * time.Millisecond,
+	}
+	ctrl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	joinCh := make(chan error, 1)
+	go func() {
+		joinCh <- tcp.Join(ctx, ctrl.Addr().String(), tcp.Options{Telemetry: joinReg})
+	}()
+	start := time.Now()
+	if _, err := tcp.Serve(ctx, ctrl, snap, cfg); err != nil {
+		b.Fatal(err)
+	}
+	wall := time.Since(start)
+	if err := <-joinCh; err != nil {
+		b.Fatal(err)
+	}
+	_ = ctrl.Close()
+	return wall
+}
+
+func BenchmarkPerfDistStatsCost(b *testing.B) {
+	g := perfGraph(b, "LJ", false)
+	snap := filepath.Join(b.TempDir(), "graph.gabs")
+	if err := graph.SaveFormat(snap, g, graph.FormatSnapshot); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var workTime, spanTime time.Duration
+	var rounds int64
+	for i := 0; i < b.N; i++ {
+		sink := telemetry.NewClusterStats()
+		_ = distStatsRun(b, g, snap, sink)
+		r, w, s := sink.RoundCost()
+		rounds += r
+		workTime += w
+		spanTime += s
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+	if rounds > 0 {
+		b.ReportMetric(float64(workTime.Nanoseconds())/float64(rounds)/1e3, "us/round")
+		b.ReportMetric(float64(spanTime.Nanoseconds())/float64(rounds)/1e3, "lat-us/round")
+	}
 }
 
 func BenchmarkEngineTelemetryTrace(b *testing.B) {

@@ -22,6 +22,42 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "== checkpoint round-trip + resume smoke"
     go test -count=1 -run 'Checkpoint|Resume|Schedule' \
         ./internal/checkpoint ./internal/core
+    echo "== observability smoke (loopback dist run, /metrics + /healthz probed live)"
+    tmpd=$(mktemp -d -t graphabcd_obs_XXXXXX)
+    trap 'rm -rf "$tmpd"' EXIT
+    go build -o "$tmpd/graphabcd" ./cmd/graphabcd
+    "$tmpd/graphabcd" -algo cc -dataset WT -shrink 6 -nodes 2 \
+        -listen 127.0.0.1:0 -telemetry -metrics-addr 127.0.0.1:0 \
+        -log-level info -log-format json -timeout 2m \
+        >"$tmpd/coord.log" 2>"$tmpd/coord.err" &
+    coord=$!
+    # The coordinator prints the metrics URL, then its control address,
+    # then blocks waiting for the joiner — probe the endpoints in that
+    # window, while the process is demonstrably mid-run.
+    for _ in $(seq 1 200); do
+        grep -q '^coordinating' "$tmpd/coord.log" 2>/dev/null && break
+        sleep 0.05
+    done
+    murl=$(sed -n 's|^metrics: \(http://[^/]*\)/metrics.*|\1|p' "$tmpd/coord.log")
+    addr=$(sed -n 's/^coordinating .* nodes on \([^ ]*\).*/\1/p' "$tmpd/coord.log")
+    if [[ -z "$murl" || -z "$addr" ]]; then
+        echo "coordinator never announced its endpoints:" >&2
+        cat "$tmpd/coord.log" "$tmpd/coord.err" >&2
+        exit 1
+    fi
+    curl -fsS "$murl/healthz" | grep -qx 'ok'
+    curl -fsS "$murl/metrics" | grep -q '^graphabcd_counter_total{name="block_updates"}'
+    curl -fsS "$murl/metrics" | grep -q '^# TYPE graphabcd_cluster_nodes gauge'
+    # Not ready yet: the cluster has not assembled.
+    if curl -fsS "$murl/readyz" >/dev/null 2>&1; then
+        echo "/readyz reported ready before the cluster assembled" >&2
+        exit 1
+    fi
+    "$tmpd/graphabcd" -join "$addr" -timeout 2m >"$tmpd/join.log" 2>&1
+    wait "$coord"
+    grep -q '^components:' "$tmpd/coord.log"
+    grep -q '"event":"cluster.start"' "$tmpd/coord.err"
+    grep -q 'join run complete' "$tmpd/join.log"
     echo "Smoke checks passed."
     exit 0
 fi
