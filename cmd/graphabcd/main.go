@@ -52,8 +52,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
+	"graphabcd"
 	"graphabcd/internal/accel"
 	"graphabcd/internal/bcd"
 	"graphabcd/internal/chaos"
@@ -78,7 +81,8 @@ func main() {
 
 func run() error {
 	var (
-		algo      = flag.String("algo", "pr", "algorithm: pr | sssp | bfs | cc | lp | cf")
+		algo      = flag.String("algo", "pr", "algorithm: pr | ppr | prdelta | sssp | bfs | cc | lp | kcore | cf")
+		seeds     = flag.String("seeds", "", "ppr: comma-separated personalization seed vertices")
 		graphFile = flag.String("graph", "", "graph file, text edge list or binary snapshot (alternative to -dataset)")
 		saveGraph = flag.String("save-graph", "", "write the loaded graph to this path before running (.gabs snapshot, .gabz compressed snapshot, else text)")
 		dataset   = flag.String("dataset", "", "Table-I analog name (WT PS LJ TW SAC MOL NF)")
@@ -380,9 +384,6 @@ func run() error {
 		defer func() { _ = recFile.Close() }() // double close on success is harmless
 		cfg.RecordSchedule = recFile
 	}
-	if err := cfg.Validate(); err != nil {
-		return err
-	}
 	var sim *accel.Simulator
 	if *useSim {
 		sc := accel.DefaultHARPv2()
@@ -398,60 +399,75 @@ func run() error {
 		cfg.Sim = sim
 	}
 
-	var stats core.Stats
-	switch *algo {
-	case "pr":
-		res, err := runCore[float64, float64](ctx, g, bcd.PageRank{}, cfg, schedule)
+	// One registry-driven dispatch replaces the per-algorithm switch: the
+	// CLI builds the same JobSpec the HTTP serving layer does, and the
+	// Runtime validates it (engine config included) before starting.
+	alg, err := graphabcd.LookupAlgorithm(*algo)
+	if err != nil {
+		return err
+	}
+	if cfg.MaxEpochs == 0 && alg.DefaultMaxEpochs > 0 {
+		cfg.MaxEpochs = alg.DefaultMaxEpochs // non-convergent workloads need a bound
+	}
+	jopts := []graphabcd.JobOption{graphabcd.WithConfig(cfg)}
+	if alg.NeedsSource {
+		jopts = append(jopts, graphabcd.WithSource(src))
+	}
+	if alg.NeedsSeeds {
+		pprSeeds, err := parseSeeds(*seeds)
 		if err != nil {
 			return err
 		}
-		stats = res.Stats
-		printTopFloat(res.Values, *top, "rank")
+		jopts = append(jopts, graphabcd.WithSeeds(pprSeeds...))
+	}
+	var cfParams bcd.CF
+	if alg.Name == "cf" {
+		cfParams = bcd.CF{Rank: *rank, LearnRate: 0.3, Lambda: 0.01, Seed: 7}
+		jopts = append(jopts, graphabcd.WithCFParams(cfParams))
+	}
+	if schedule != nil {
+		jopts = append(jopts, graphabcd.WithSchedule(schedule))
+	}
+	h, err := graphabcd.NewRuntime().Run(ctx, graphabcd.NewJobSpec(alg.Name, g, jopts...))
+	if err != nil {
+		return err
+	}
+	res, err := h.Wait(context.Background())
+	if err != nil {
+		return err
+	}
+	// The residual trace is the replay's fingerprint: two replays of the
+	// same schedule print bit-identical lines.
+	for i, r := range res.Residuals {
+		if i >= 8 && i < len(res.Residuals)-1 {
+			if i == 8 {
+				fmt.Printf("residual ...\n")
+			}
+			continue
+		}
+		fmt.Printf("residual after epoch %d: %.17g\n", i+1, r)
+	}
+	stats := res.Stats
+	switch alg.Name {
+	case "pagerank", "pagerank-delta", "ppr":
+		printTopFloat(res.Float, *top, "rank")
 	case "sssp":
-		res, err := runCore[float64, float64](ctx, g, bcd.SSSP{Source: src}, cfg, schedule)
-		if err != nil {
-			return err
-		}
-		stats = res.Stats
 		fmt.Printf("source: %d\n", src)
-		printTopFloat(res.Values, *top, "dist")
+		printTopFloat(res.Float, *top, "dist")
 	case "bfs":
-		res, err := runCore[uint64, uint64](ctx, g, bcd.BFS{Source: src}, cfg, schedule)
-		if err != nil {
-			return err
-		}
-		stats = res.Stats
-		fmt.Printf("source: %d, reached: %d\n", src, countReached(res.Values))
+		fmt.Printf("source: %d, reached: %d\n", src, countReached(res.Uint))
 	case "cc":
-		res, err := runCore[uint64, uint64](ctx, g, bcd.CC{}, cfg, schedule)
-		if err != nil {
-			return err
+		fmt.Printf("components: %d\n", countComponents(res.Uint))
+	case "labelprop":
+		fmt.Printf("communities: %d\n", countComponents(res.Uint))
+	case "kcore":
+		var maxCore uint64
+		for _, c := range res.Uint {
+			maxCore = max(maxCore, c)
 		}
-		stats = res.Stats
-		fmt.Printf("components: %d\n", countComponents(res.Values))
-	case "lp":
-		if cfg.MaxEpochs == 0 {
-			cfg.MaxEpochs = 50
-		}
-		res, err := runCore[uint64, bcd.LPAccum](ctx, g, bcd.LabelProp{}, cfg, schedule)
-		if err != nil {
-			return err
-		}
-		stats = res.Stats
-		fmt.Printf("communities: %d\n", countComponents(res.Values))
+		fmt.Printf("max core: %d\n", maxCore)
 	case "cf":
-		if cfg.MaxEpochs == 0 {
-			cfg.MaxEpochs = 20
-		}
-		params := bcd.CF{Rank: *rank, LearnRate: 0.3, Lambda: 0.01, Seed: 7}
-		res, err := runCore[[]float32, []float64](ctx, g, params, cfg, schedule)
-		if err != nil {
-			return err
-		}
-		stats = res.Stats
-		fmt.Printf("rmse: %.4f\n", params.RMSE(g, res.Values))
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+		fmt.Printf("rmse: %.4f\n", cfParams.RMSE(g, res.Vectors))
 	}
 
 	fmt.Printf("converged: %v\nepochs: %.2f\nblock updates: %d\nedges traversed: %d\nwall time: %v\nthroughput: %.1f MTEPS\n",
@@ -477,28 +493,25 @@ func run() error {
 	return nil
 }
 
-// runCore executes one single-node run — live via the engine, or a
-// deterministic replay when a recorded schedule is supplied.
-func runCore[V, M any](ctx context.Context, g *graph.Graph, prog bcd.Program[V, M], cfg core.Config, schedule []uint32) (*core.Result[V], error) {
-	if schedule == nil {
-		return core.RunContext[V, M](ctx, g, prog, cfg)
+// parseSeeds splits a comma-separated vertex id list for -seeds.
+func parseSeeds(s string) ([]uint32, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("ppr needs -seeds (comma-separated vertex ids)")
 	}
-	rr, err := core.ReplaySchedule[V, M](ctx, g, prog, cfg, schedule)
-	if err != nil {
-		return nil, err
-	}
-	// The residual trace is the replay's fingerprint: two replays of the
-	// same schedule print bit-identical lines.
-	for i, r := range rr.Residuals {
-		if i >= 8 && i < len(rr.Residuals)-1 {
-			if i == 8 {
-				fmt.Printf("residual ...\n")
-			}
+	parts := strings.Split(s, ",")
+	out := make([]uint32, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
 			continue
 		}
-		fmt.Printf("residual after epoch %d: %.17g\n", i+1, r)
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed vertex %q: %w", p, err)
+		}
+		out = append(out, uint32(v))
 	}
-	return rr.Result, nil
+	return out, nil
 }
 
 // distOpts carries the distributed-run flag values.
@@ -646,39 +659,36 @@ func runDistributed(ctx context.Context, g *graph.Graph, o distOpts) error {
 		fmt.Printf("chaos: drop=%.2f dup=%.2f delay=%v seed=%d\n", o.drop, o.dup, o.delay, o.seed)
 	}
 
-	var stats cluster.Stats
-	switch o.algo {
-	case "pr":
-		res, err := cluster.Run[float64, float64](ctx, g, bcd.PageRank{}, cfg)
-		if err != nil {
-			return err
-		}
-		stats = res.Stats
-		printTopFloat(res.Values, o.top, "rank")
+	// Distributed dispatch rides the same registry as the single-node
+	// path; the Runtime validates the cluster config before any node
+	// goroutine starts.
+	alg, err := graphabcd.LookupAlgorithm(o.algo)
+	if err != nil {
+		return err
+	}
+	jopts := []graphabcd.JobOption{graphabcd.WithClusterConfig(cfg)}
+	if alg.NeedsSource {
+		jopts = append(jopts, graphabcd.WithSource(o.src))
+	}
+	h, err := graphabcd.NewRuntime().Run(ctx, graphabcd.NewJobSpec(alg.Name, g, jopts...))
+	if err != nil {
+		return err
+	}
+	res, err := h.Wait(context.Background())
+	if err != nil {
+		return err
+	}
+	stats := *res.Cluster
+	switch alg.Name {
+	case "pagerank":
+		printTopFloat(res.Float, o.top, "rank")
 	case "sssp":
-		res, err := cluster.Run[float64, float64](ctx, g, bcd.SSSP{Source: o.src}, cfg)
-		if err != nil {
-			return err
-		}
-		stats = res.Stats
 		fmt.Printf("source: %d\n", o.src)
-		printTopFloat(res.Values, o.top, "dist")
+		printTopFloat(res.Float, o.top, "dist")
 	case "bfs":
-		res, err := cluster.Run[uint64, uint64](ctx, g, bcd.BFS{Source: o.src}, cfg)
-		if err != nil {
-			return err
-		}
-		stats = res.Stats
-		fmt.Printf("source: %d, reached: %d\n", o.src, countReached(res.Values))
+		fmt.Printf("source: %d, reached: %d\n", o.src, countReached(res.Uint))
 	case "cc":
-		res, err := cluster.Run[uint64, uint64](ctx, g, bcd.CC{}, cfg)
-		if err != nil {
-			return err
-		}
-		stats = res.Stats
-		fmt.Printf("components: %d\n", countComponents(res.Values))
-	default:
-		return fmt.Errorf("algorithm %q does not support -nodes > 1 (pick pr, sssp, bfs, or cc)", o.algo)
+		fmt.Printf("components: %d\n", countComponents(res.Uint))
 	}
 
 	fmt.Printf("converged: %v\nnodes: %d\nepochs: %.2f\nblock updates: %d\nedges traversed: %d\nwall time: %v\nthroughput: %.1f MTEPS\n",

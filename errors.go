@@ -1,0 +1,24 @@
+package graphabcd
+
+import "errors"
+
+// Typed sentinel errors shared by the facade, the Runtime, and the
+// serving layer (internal/serve). HTTP handlers map these to status
+// codes with errors.Is instead of matching message strings.
+var (
+	// ErrUnknownAlgorithm reports a JobSpec.Algorithm that no registered
+	// AlgorithmSpec claims (see Algorithms for the registry listing).
+	ErrUnknownAlgorithm = errors.New("graphabcd: unknown algorithm")
+
+	// ErrGraphNotFound reports a graph name the serving layer's pool
+	// cannot resolve to a loaded graph or an on-disk snapshot.
+	ErrGraphNotFound = errors.New("graphabcd: graph not found")
+
+	// ErrOverloaded reports an admission-control rejection: the job
+	// queue is full or a tenant exhausted its token bucket. The request
+	// was not enqueued; retry with backoff.
+	ErrOverloaded = errors.New("graphabcd: overloaded")
+
+	// ErrJobNotFound reports a job id the serving layer does not know.
+	ErrJobNotFound = errors.New("graphabcd: job not found")
+)

@@ -166,6 +166,16 @@ func dstOfSlot(g *Graph, slot int64) uint32 {
 // NumVertices returns |V|.
 func (g *Graph) NumVertices() int { return g.n }
 
+// MemoryBytes returns the resident size of the dual CSC/CSR layout: the
+// backing arrays of both views plus the degree caches. The serving
+// layer's warm graph pool charges loaded graphs against its memory
+// budget with exactly this figure.
+func (g *Graph) MemoryBytes() int64 {
+	perVertex := int64(8+8+4+4) * int64(g.n) // inOff + outOff + outDeg + inDeg
+	perEdge := int64(4+4+4+8) * int64(g.m)   // inSrc + inW + outDst + outPos
+	return perVertex + perEdge + 16          // offset sentinels inOff[n], outOff[n]
+}
+
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return g.m }
 

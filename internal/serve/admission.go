@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"graphabcd"
+)
+
+// Admission-control rejections. Both wrap graphabcd.ErrOverloaded so
+// callers outside the HTTP layer can errors.Is on the sentinel; the HTTP
+// layer distinguishes them to pick 429 (per-tenant rate) vs 503 (shared
+// queue), matching the retry semantics each implies.
+var (
+	errRateLimited = fmt.Errorf("%w: tenant rate limit exceeded", graphabcd.ErrOverloaded)
+	errQueueFull   = fmt.Errorf("%w: job queue full", graphabcd.ErrOverloaded)
+)
+
+// Limiter is a per-tenant token bucket: each tenant holds up to burst
+// tokens, refilled at rate tokens/second, and a job submission costs one.
+// rate 0 with a positive burst gives each tenant a fixed quota that never
+// refills — which is also what makes admission tests deterministic.
+type Limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter returns a limiter; burst <= 0 disables limiting entirely.
+// now is the clock (nil means time.Now) — injectable so tests control
+// refill instead of sleeping.
+func NewLimiter(rate float64, burst int, now func() time.Time) *Limiter {
+	if now == nil {
+		now = time.Now
+	}
+	return &Limiter{rate: rate, burst: float64(burst), now: now, buckets: make(map[string]*bucket)}
+}
+
+// Allow takes one token from tenant's bucket, reporting whether the
+// submission is admitted.
+func (l *Limiter) Allow(tenant string) bool {
+	if l == nil || l.burst <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.now()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[tenant] = b
+	}
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = t
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// journalRecord is one JSONL line in the durable-job journal. A record
+// with a Request is a submission; a record with a State is a terminal
+// marker. A submission without a later terminal marker is resubmitted on
+// the next server start.
+type journalRecord struct {
+	ID      string      `json:"id"`
+	Tenant  string      `json:"tenant,omitempty"`
+	Request *JobRequest `json:"request,omitempty"`
+	State   string      `json:"state,omitempty"`
+}
+
+// journal is the append-only durable-job log, stored as jobs.jsonl next
+// to the engine's checkpoint runs so one -ckpt-dir carries both the job
+// intent (here) and the job state (checkpoint epochs).
+type journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+func openJournal(dir string) (*journal, error) {
+	path := filepath.Join(dir, "jobs.jsonl")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening job journal: %w", err)
+	}
+	return &journal{path: path, f: f}, nil
+}
+
+func (j *journal) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("serve: job journal closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// replay scans the journal and returns the still-pending submissions in
+// journal order, plus the highest numeric id seen (so the manager seeds
+// its sequence past resubmitted ids). Duplicate submissions of one id —
+// a job resumed more than once — collapse to the latest. Torn trailing
+// lines from a crash mid-append are skipped, not fatal.
+func (j *journal) replay() ([]journalRecord, int64, error) {
+	j.mu.Lock()
+	path := j.path
+	j.mu.Unlock()
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	var (
+		order   []string
+		pending = map[string]journalRecord{}
+		maxSeq  int64
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			continue // torn write at a crash boundary
+		}
+		if n, ok := strings.CutPrefix(rec.ID, "j-"); ok {
+			if v, err := strconv.ParseInt(n, 10, 64); err == nil && v > maxSeq {
+				maxSeq = v
+			}
+		}
+		switch {
+		case rec.Request != nil:
+			if _, seen := pending[rec.ID]; !seen {
+				order = append(order, rec.ID)
+			}
+			pending[rec.ID] = rec
+		case rec.State != "":
+			delete(pending, rec.ID)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	out := make([]journalRecord, 0, len(pending))
+	for _, id := range order {
+		if rec, ok := pending[id]; ok {
+			out = append(out, rec)
+		}
+	}
+	return out, maxSeq, nil
+}
+
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		_ = j.f.Close()
+		j.f = nil
+	}
+}

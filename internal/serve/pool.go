@@ -1,0 +1,288 @@
+// Package serve is the graph-analytics serving layer behind cmd/graphabcdd:
+// a warm graph pool over on-disk snapshots, a bounded job subsystem on the
+// public graphabcd.Runtime, a result cache keyed by graph epoch, and
+// per-tenant admission control. The HTTP surface lives in http.go; every
+// error it maps to a status code is a graphabcd sentinel (errors.Is).
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"graphabcd"
+	"graphabcd/internal/telemetry"
+)
+
+// Pool is the warm graph pool: snapshots (.gabs/.gabz) load by name from a
+// directory, stay resident while referenced, and are LRU-evicted once the
+// resident set exceeds the memory budget. Loads flip the server's Health
+// to not-ready — a scrape mid-load should steer traffic elsewhere — and
+// flip it back when the pool drains to zero in-flight loads.
+type Pool struct {
+	dir    string
+	budget int64 // bytes; <= 0 means unlimited
+	health *telemetry.Health
+
+	mu      sync.Mutex
+	entries map[string]*poolEntry
+	loading map[string]chan struct{}
+	epochs  map[string]uint64 // per-name load counter; survives eviction
+	used    int64
+	tick    int64 // LRU clock
+	loads   int   // in-flight loads, drives the health flip
+}
+
+type poolEntry struct {
+	g       *graphabcd.Graph
+	epoch   uint64
+	bytes   int64
+	refs    int
+	lastUse int64
+}
+
+// GraphInfo describes one pool entry for GET /v1/graphs.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Resident bool   `json:"resident"`
+	Vertices int    `json:"vertices,omitempty"`
+	Edges    int    `json:"edges,omitempty"`
+	Bytes    int64  `json:"bytes,omitempty"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+	Refs     int    `json:"refs,omitempty"`
+}
+
+// NewPool returns a pool over dir. budget <= 0 disables eviction. health
+// may be nil (no readiness flips).
+func NewPool(dir string, budget int64, health *telemetry.Health) *Pool {
+	return &Pool{
+		dir:     dir,
+		budget:  budget,
+		health:  health,
+		entries: make(map[string]*poolEntry),
+		loading: make(map[string]chan struct{}),
+		epochs:  make(map[string]uint64),
+	}
+}
+
+// Acquire resolves name to a resident graph, loading the snapshot on a
+// cold hit, and takes a reference that pins the graph against eviction.
+// The returned epoch increments on every (re)load of the name, so a cache
+// key carrying it can never alias results across an evict/reload cycle.
+// Call release exactly once when the job is done with the graph.
+func (p *Pool) Acquire(name string) (g *graphabcd.Graph, epoch uint64, release func(), err error) {
+	if err := validGraphName(name); err != nil {
+		return nil, 0, nil, err
+	}
+	for {
+		g, epoch, release, wait, start := p.tryAcquire(name)
+		switch {
+		case g != nil:
+			return g, epoch, release, nil
+		case wait != nil:
+			<-wait // someone else is loading it; retry (they may have failed)
+		default:
+			return p.load(name, start)
+		}
+	}
+}
+
+// tryAcquire is Acquire's locked step: a hit takes a reference (g non-nil),
+// an in-flight load hands back its marker to wait on, and a cold miss
+// registers a new in-flight load and returns its channel as start.
+func (p *Pool) tryAcquire(name string) (g *graphabcd.Graph, epoch uint64, release func(), wait <-chan struct{}, start chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[name]; ok {
+		e.refs++
+		p.tick++
+		e.lastUse = p.tick
+		return e.g, e.epoch, p.releaseFunc(name), nil, nil
+	}
+	if ch, ok := p.loading[name]; ok {
+		return nil, 0, nil, ch, nil
+	}
+	ch := make(chan struct{})
+	p.loading[name] = ch
+	p.loads++
+	if p.loads == 1 && p.health != nil {
+		p.health.SetReady(false, "loading graph "+name)
+	}
+	return nil, 0, nil, nil, ch
+}
+
+// load reads the snapshot outside the lock; ch is the in-flight marker
+// every concurrent Acquire of the same name waits on.
+func (p *Pool) load(name string, ch chan struct{}) (*graphabcd.Graph, uint64, func(), error) {
+	g, err := p.loadFile(name)
+	epoch, release := p.install(name, g, err)
+	close(ch)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return g, epoch, release, nil
+}
+
+// install is load's locked step: it retires the in-flight marker (flipping
+// health back once the pool drains) and, on success, registers the graph
+// at the next epoch with one reference already taken.
+func (p *Pool) install(name string, g *graphabcd.Graph, err error) (uint64, func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.loading, name)
+	p.loads--
+	if p.loads == 0 && p.health != nil {
+		p.health.SetReady(true, "serving")
+	}
+	if err != nil {
+		return 0, nil
+	}
+	p.epochs[name]++
+	e := &poolEntry{g: g, epoch: p.epochs[name], bytes: g.MemoryBytes(), refs: 1}
+	p.tick++
+	e.lastUse = p.tick
+	p.entries[name] = e
+	p.used += e.bytes
+	p.evictLocked()
+	return e.epoch, p.releaseFunc(name)
+}
+
+func (p *Pool) loadFile(name string) (*graphabcd.Graph, error) {
+	var lastErr error
+	for _, ext := range []string{"", ".gabs", ".gabz"} {
+		path := filepath.Join(p.dir, name+ext)
+		if _, err := os.Stat(path); err != nil {
+			lastErr = err
+			continue
+		}
+		g, err := graphabcd.Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading graph %q from %s: %w", name, path, err)
+		}
+		return g, nil
+	}
+	return nil, fmt.Errorf("%w: %q in %s (%v)", graphabcd.ErrGraphNotFound, name, p.dir, lastErr)
+}
+
+func (p *Pool) releaseFunc(name string) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			if e, ok := p.entries[name]; ok && e.refs > 0 {
+				e.refs--
+			}
+			p.evictLocked()
+			p.mu.Unlock()
+		})
+	}
+}
+
+// evictLocked drops least-recently-used unreferenced graphs until the
+// resident set fits the budget. A single referenced graph may overcommit
+// the budget — refusing a running job's graph would be worse.
+func (p *Pool) evictLocked() {
+	if p.budget <= 0 {
+		return
+	}
+	for p.used > p.budget {
+		victim := ""
+		var oldest int64
+		for name, e := range p.entries {
+			if e.refs > 0 {
+				continue
+			}
+			if victim == "" || e.lastUse < oldest {
+				victim, oldest = name, e.lastUse
+			}
+		}
+		if victim == "" {
+			return // everything resident is pinned
+		}
+		p.used -= p.entries[victim].bytes
+		delete(p.entries, victim)
+	}
+}
+
+// Exists reports whether name resolves to a resident graph or an on-disk
+// snapshot — the submit-time check that turns a typo into an immediate
+// 404 instead of an asynchronously failed job.
+func (p *Pool) Exists(name string) bool {
+	if err := validGraphName(name); err != nil {
+		return false
+	}
+	if _, ok := p.Resident(name); ok {
+		return true
+	}
+	for _, ext := range []string{"", ".gabs", ".gabz"} {
+		if _, err := os.Stat(filepath.Join(p.dir, name+ext)); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Resident reports whether name is currently loaded and its epoch.
+func (p *Pool) Resident(name string) (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[name]
+	if !ok {
+		return 0, false
+	}
+	return e.epoch, true
+}
+
+// UsedBytes returns the resident-set size.
+func (p *Pool) UsedBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used
+}
+
+// List merges the on-disk snapshot inventory with the resident set,
+// sorted by name.
+func (p *Pool) List() []GraphInfo {
+	names := map[string]bool{}
+	if ents, err := os.ReadDir(p.dir); err == nil {
+		for _, de := range ents {
+			n := de.Name()
+			for _, ext := range []string{".gabs", ".gabz"} {
+				if strings.HasSuffix(n, ext) {
+					names[strings.TrimSuffix(n, ext)] = true
+				}
+			}
+		}
+	}
+	p.mu.Lock()
+	for name := range p.entries {
+		names[name] = true
+	}
+	out := make([]GraphInfo, 0, len(names))
+	for name := range names {
+		info := GraphInfo{Name: name}
+		if e, ok := p.entries[name]; ok {
+			info.Resident = true
+			info.Vertices = e.g.NumVertices()
+			info.Edges = e.g.NumEdges()
+			info.Bytes = e.bytes
+			info.Epoch = e.epoch
+			info.Refs = e.refs
+		}
+		out = append(out, info)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// validGraphName rejects names that would escape the snapshot directory.
+func validGraphName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return fmt.Errorf("%w: invalid graph name %q", graphabcd.ErrGraphNotFound, name)
+	}
+	return nil
+}

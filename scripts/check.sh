@@ -58,6 +58,53 @@ if [[ "${1:-}" == "--smoke" ]]; then
     grep -q '^components:' "$tmpd/coord.log"
     grep -q '"event":"cluster.start"' "$tmpd/coord.err"
     grep -q 'join run complete' "$tmpd/join.log"
+    echo "== serving layer smoke (graphabcdd: job over HTTP, cache hit on resubmit)"
+    srvd="$tmpd/srv"
+    mkdir -p "$srvd/graphs"
+    "$tmpd/graphabcd" -algo pr -dataset WT -shrink 2 -max-epochs 1 \
+        -save-graph "$srvd/graphs/wt.gabs" >/dev/null
+    go build -o "$tmpd/graphabcdd" ./cmd/graphabcdd
+    "$tmpd/graphabcdd" -addr 127.0.0.1:0 -graphs "$srvd/graphs" -preload wt \
+        -log-level warn >"$srvd/server.log" 2>&1 &
+    srv=$!
+    for _ in $(seq 1 200); do
+        grep -q '^graphabcdd serving' "$srvd/server.log" 2>/dev/null && break
+        sleep 0.05
+    done
+    base=$(sed -n 's|^graphabcdd serving on \(http://[^ ]*\).*|\1|p' "$srvd/server.log")
+    if [[ -z "$base" ]]; then
+        echo "graphabcdd never announced its URL:" >&2
+        cat "$srvd/server.log" >&2
+        exit 1
+    fi
+    curl -fsS "$base/readyz" | grep -qx 'ok'
+    cold=$(curl -fsS -X POST "$base/v1/jobs" -d '{"algorithm":"pagerank","graph":"wt"}')
+    id=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$cold")
+    body=""
+    for _ in $(seq 1 200); do
+        body=$(curl -fsS "$base/v1/jobs/$id?values=false")
+        grep -q '"state":"done"' <<<"$body" && break
+        sleep 0.05
+    done
+    grep -q '"state":"done"' <<<"$body"
+    grep -q '"converged":true' <<<"$body"
+    cold_ms=$(sed -n 's/.*"elapsed_ms":\([0-9.eE+-]*\).*/\1/p' <<<"$body")
+    # Same request again: must answer from the result cache, at least 100x
+    # faster than the cold run, in the submit response itself.
+    warm=$(curl -fsS -X POST "$base/v1/jobs" -d '{"algorithm":"pagerank","graph":"wt"}')
+    grep -q '"cached":true' <<<"$warm"
+    warm_ms=$(sed -n 's/.*"elapsed_ms":\([0-9.eE+-]*\).*/\1/p' <<<"$warm")
+    awk -v c="$cold_ms" -v w="$warm_ms" 'BEGIN {
+        if (w + 0 <= 0) w = 0.0001
+        if (c + 0 < 100 * w) {
+            printf "cache hit not >=100x faster than cold run: cold=%sms warm=%sms\n", c, w
+            exit 1
+        }
+    }'
+    curl -fsS "$base/metrics" | grep -q '^graphabcdd_cache_hits_total 1$'
+    kill -TERM "$srv"
+    wait "$srv"
+    grep -q 'graphabcdd stopped' "$srvd/server.log"
     echo "Smoke checks passed."
     exit 0
 fi
